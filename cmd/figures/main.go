@@ -1,0 +1,175 @@
+// Command figures regenerates any figure of the paper's evaluation and
+// renders it as ASCII (and optionally CSV). Figure ids: 1, 3–16, plus
+// the in-text experiments "mpt" (§V-D minimum prefetch time), "buffers"
+// (§V-F buffer count), "patterns" (§V-F per-pattern breakdown), and the
+// extension study "predictors" (on-the-fly prediction, the paper's §VI
+// future work). Use "all" for everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rapid "repro"
+)
+
+var renderOpts rapid.RenderOptions
+
+func main() {
+	var (
+		figArg = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, or all")
+		scale  = flag.String("scale", "paper", "experiment scale: paper or test")
+		width  = flag.Int("w", 64, "plot width")
+		height = flag.Int("h", 20, "plot height")
+		csv    = flag.Bool("csv", false, "print CSV data instead of ASCII plots")
+	)
+	flag.Parse()
+	renderOpts = rapid.RenderOptions{Width: *width, Height: *height}
+
+	var opts rapid.SuiteOptions
+	switch *scale {
+	case "paper":
+		opts = rapid.PaperScale()
+	case "test":
+		opts = rapid.TestScale()
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*figArg, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	wanted := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	emit := func(f *rapid.Figure) {
+		if *csv {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.Render(renderOpts))
+		}
+	}
+
+	if wanted("1") {
+		fmt.Print(rapid.Fig1Motivation(opts.Seed).Report)
+		fmt.Println()
+	}
+
+	if wanted("3", "4", "5", "6", "7", "8", "9", "10", "11", "patterns") {
+		s := rapid.RunSuite(opts)
+		if wanted("3") {
+			emit(s.Fig3ReadTime())
+		}
+		if wanted("4") {
+			emit(s.Fig4HitRatioCDF())
+		}
+		if wanted("5") {
+			emit(s.Fig5HitKindsCDF())
+		}
+		if wanted("6") {
+			emit(s.Fig6ReadVsHitWait())
+		}
+		if wanted("7") {
+			emit(s.Fig7DiskResponse())
+		}
+		if wanted("8") {
+			emit(s.Fig8TotalTime())
+		}
+		if wanted("9") {
+			emit(s.Fig9SyncTime())
+		}
+		if wanted("10") {
+			emit(s.Fig10ExecVsRead())
+		}
+		if wanted("11") {
+			emit(s.Fig11ExecVsHitRatio())
+		}
+		if wanted("patterns") {
+			fmt.Println("per-pattern breakdown (§V-F):")
+			for _, kind := range rapid.PatternKinds {
+				g := s.ByPattern()[kind]
+				fmt.Printf("  %-4s median exec reduction %+6.1f%%, read reduction %+6.1f%%, hit %.3f\n",
+					kind, g.Exec.Median(), g.Read.Median(), g.Hit.Median())
+			}
+			fmt.Println()
+		}
+	}
+
+	if wanted("12") {
+		r := rapid.ComputeSweep(opts, []int{0, 5, 10, 15, 20, 25, 30, 40, 50, 60})
+		emit(r.TotalTime)
+		emit(r.ReadTime)
+		emit(r.DiskResponse)
+		emit(r.ActionTime)
+	}
+
+	if wanted("13", "14", "15", "16") {
+		r := rapid.LeadSweep(opts, []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90})
+		if wanted("13") {
+			emit(r.HitWait)
+		}
+		if wanted("14") {
+			emit(r.MissRatio)
+		}
+		if wanted("15") {
+			emit(r.ReadTime)
+		}
+		if wanted("16") {
+			emit(r.TotalTime)
+		}
+	}
+
+	if wanted("mpt") {
+		r := rapid.MinPrefetchTimeSweep(opts, []int{0, 5, 10, 15, 20, 25})
+		emit(r.Overrun)
+		emit(r.HitRatio)
+		emit(r.TotalTime)
+	}
+
+	if wanted("buffers") {
+		emit(rapid.BufferCountSweep(opts, []int{1, 2, 3, 4, 5}))
+	}
+
+	if wanted("predictors") {
+		study := rapid.RunPredictorStudy(opts)
+		fmt.Println(study.Table())
+		emit(study.Figure())
+	}
+
+	if wanted("scale") {
+		r := rapid.ScalabilitySweep(opts, []int{4, 8, 16, 32, 64})
+		emit(r.TotalTime)
+		emit(r.Improvement)
+		emit(r.ActionTime)
+	}
+
+	if wanted("layouts") {
+		fmt.Println(rapid.RunLayoutStudy(opts).Table())
+	}
+
+	if wanted("sched") {
+		fmt.Println(rapid.RunSchedStudy(opts).Table())
+	}
+
+	if wanted("hybrid") {
+		fmt.Print(rapid.RunHybridStudy(opts).Report())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(1)
+}

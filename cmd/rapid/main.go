@@ -1,0 +1,166 @@
+// Command rapid runs one RAPID Transit testbed experiment and prints
+// its measurements, optionally recording the access trace for off-line
+// analysis.
+//
+// Examples:
+//
+//	rapid -pattern gw -sync each -prefetch
+//	rapid -pattern lfp -iobound -prefetch -compare
+//	rapid -pattern gw -prefetch -trace /tmp/gw.trace -analyze
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	rapid "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		patternName = flag.String("pattern", "gw", "access pattern: lfp, lrp, lw, gfp, grp, gw")
+		syncName    = flag.String("sync", "none", "sync style: each, total, portion, none")
+		prefetch    = flag.Bool("prefetch", false, "enable prefetching")
+		predictor   = flag.String("predictor", "oracle", "prefetch candidate source: oracle, obl, seq, gaps")
+		compare     = flag.Bool("compare", false, "run with AND without prefetching and compare")
+		ioBound     = flag.Bool("iobound", false, "no computation per block (I/O bound)")
+		computeMS   = flag.Float64("compute", -1, "mean computation per block in ms (-1 = paper default)")
+		procs       = flag.Int("procs", 20, "number of processors (and disks)")
+		blocks      = flag.Int("blocks", 2000, "total blocks read (global patterns)")
+		perProc     = flag.Int("perproc", 100, "blocks read per process (local patterns)")
+		lead        = flag.Int("lead", 0, "minimum prefetch lead in blocks")
+		minPF       = flag.Float64("minpf", 0, "minimum prefetch time in ms")
+		buffers     = flag.Int("buffers", 3, "prefetch buffers per process")
+		ruSet       = flag.Int("ruset", 1, "recently-used set size per process")
+		perNode     = flag.Bool("pernode", false, "strict per-node prefetch buffer limits")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		traceFile   = flag.String("trace", "", "write the access trace to this file")
+		analyze     = flag.Bool("analyze", false, "print off-line trace analysis")
+		perProcOut  = flag.Bool("procstats", false, "print per-process statistics")
+		hist        = flag.Bool("hist", false, "print the block read time distribution")
+		asJSON      = flag.Bool("json", false, "emit the full result as JSON")
+	)
+	flag.Parse()
+
+	kind, err := rapid.ParsePatternKind(*patternName)
+	if err != nil {
+		fatal(err)
+	}
+	style, err := rapid.ParseSyncStyle(*syncName)
+	if err != nil {
+		fatal(err)
+	}
+	pred, err := rapid.ParsePredictorKind(*predictor)
+	if err != nil {
+		fatal(err)
+	}
+
+	build := func(pf bool) rapid.Config {
+		cfg := rapid.DefaultConfig(kind)
+		cfg.Procs = *procs
+		cfg.Disks = *procs
+		cfg.Pattern.Procs = *procs
+		cfg.Pattern.TotalBlocks = *blocks
+		cfg.Pattern.BlocksPerProc = *perProc
+		cfg.Pattern.Seed = *seed
+		cfg.Sync = style
+		cfg.SyncEveryTotal = totalReads(kind, *blocks, *perProc, *procs) / 10
+		cfg.Prefetch = pf
+		cfg.Predictor = pred
+		cfg.Lead = *lead
+		cfg.MinPrefetchTime = rapid.Millis(*minPF)
+		cfg.PrefetchBuffersPerProc = *buffers
+		cfg.RUSetSize = *ruSet
+		cfg.PerNodePrefetchLimit = *perNode
+		cfg.Seed = *seed
+		if *ioBound {
+			cfg.ComputeMean = 0
+		} else if *computeMS >= 0 {
+			cfg.ComputeMean = rapid.Millis(*computeMS)
+		}
+		return cfg
+	}
+
+	if *compare {
+		base, err := rapid.Run(build(false))
+		if err != nil {
+			fatal(err)
+		}
+		pf, err := rapid.Run(build(true))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(base)
+		fmt.Print(pf)
+		fmt.Printf("prefetching: total time %+.1f%%, read time %+.1f%%, hit ratio %.3f -> %.3f\n",
+			-rapid.PercentReduction(base.TotalTimeMillis(), pf.TotalTimeMillis()),
+			-rapid.PercentReduction(base.ReadTime.Mean(), pf.ReadTime.Mean()),
+			base.HitRatio(), pf.HitRatio())
+		return
+	}
+
+	cfg := build(*prefetch)
+	var rec *trace.Recorder
+	if *traceFile != "" || *analyze {
+		rec = trace.NewRecorder()
+		cfg.Trace = rec.Hook()
+	}
+	res, err := rapid.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(res)
+	if *hist {
+		fmt.Println("block read time distribution (ms):")
+		fmt.Print(res.ReadTimeHist.Render(48))
+	}
+	if *perProcOut {
+		fmt.Println("per-process:")
+		for _, ps := range res.PerProc {
+			fmt.Printf("  proc %2d: %4d reads, read %7.2f ms, sync %7.2f ms, %d prefetches (%d attempts), finish %v\n",
+				ps.Node, ps.Reads, ps.ReadTime.Mean(), ps.SyncWait.Mean(),
+				ps.PrefetchesIssued, ps.PrefetchAttempts, ps.Finish)
+		}
+	}
+	if rec != nil {
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := rec.WriteTo(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: %d events -> %s\n", rec.Len(), *traceFile)
+		}
+		if *analyze {
+			fmt.Print(trace.Analyze(rec.Events()))
+		}
+	}
+}
+
+func totalReads(kind rapid.PatternKind, blocks, perProc, procs int) int {
+	if kind.Local() {
+		return perProc * procs
+	}
+	return blocks
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapid:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// Command report runs the paper's experiments and checks every
+// quantitative claim of the paper's §V text against the measured
+// results, printing a PASS/FAIL table — the one-command reproduction
+// audit. Exits non-zero if any claim fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rapid "repro"
+)
+
+func main() {
+	var scale = flag.String("scale", "paper", "experiment scale: paper or test")
+	flag.Parse()
+	var opts rapid.SuiteOptions
+	switch *scale {
+	case "paper":
+		opts = rapid.PaperScale()
+	case "test":
+		opts = rapid.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "report: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	fmt.Printf("checking the paper's claims at %s scale (deterministic, seed %d)...\n\n", *scale, opts.Seed)
+	v := rapid.VerifyClaims(opts)
+	fmt.Print(v.Report())
+	if failed := v.Failed(); len(failed) > 0 {
+		os.Exit(1)
+	}
+}

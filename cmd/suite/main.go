@@ -1,0 +1,94 @@
+// Command suite runs the paper's full factorial experiment (six access
+// patterns × four synchronization styles × two I/O intensities, with and
+// without prefetching) and prints the per-cell table, the aggregate
+// summary the paper reports in its text, and the per-pattern breakdown
+// of §V-F.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	rapid "repro"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "paper", "experiment scale: paper or test")
+		csvDir = flag.String("csv", "", "directory to write per-figure CSV data")
+	)
+	flag.Parse()
+
+	var opts rapid.SuiteOptions
+	switch *scale {
+	case "paper":
+		opts = rapid.PaperScale()
+	case "test":
+		opts = rapid.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "suite: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	fmt.Printf("running %d experiment pairs at %s scale...\n\n", 46, *scale)
+	s := rapid.RunSuite(opts)
+	fmt.Println(s.Table())
+
+	sum := s.Summarize()
+	fmt.Println("aggregate summary (compare with the paper's §V text):")
+	fmt.Printf("  experiments:                         %d\n", sum.Experiments)
+	fmt.Printf("  read-time reduction:                 median %.0f%%, max %.0f%% (paper: 48%%, 88%%)\n",
+		sum.ReadReduction.Median(), sum.ReadReduction.Max())
+	fmt.Printf("  read-time reduction > 35%%:           %.0f%% of runs (paper: 60%%)\n",
+		100*(1-sum.ReadReduction.FractionAtMost(35)))
+	fmt.Printf("  hit ratio with prefetching:          min %.2f, median %.2f (paper: all > 0.69, half > 0.86)\n",
+		sum.HitRatioPrefetch.Min(), sum.HitRatioPrefetch.Median())
+	fmt.Printf("  exec-time reduction:                 median %.0f%%, max %.0f%% (paper: most > 15%%, up to 69%%)\n",
+		sum.ExecReduction.Median(), sum.ExecReduction.Max())
+	fmt.Printf("  slowdowns under prefetching:         %d (paper: 3, all lfp)\n", sum.Slowdowns)
+	fmt.Printf("  sync time increased by prefetching:  %d of %d (paper: usually)\n",
+		sum.SyncTimeIncreased, sum.SyncPairs)
+	fmt.Printf("  hit-wait time (mean of runs):        %.0f%% below 6 ms, max %.1f ms (paper: 70%% < 6 ms, all < 17 ms)\n",
+		100*sum.HitWait.FractionBelow(6), sum.HitWait.Max())
+	fmt.Printf("  prefetch action time (mean of runs): %.1f–%.1f ms (paper: 3–31 ms)\n",
+		sum.ActionTime.Min(), sum.ActionTime.Max())
+	fmt.Printf("  overrun (mean of runs):              %.1f–%.1f ms (paper: 1–25 ms)\n",
+		sum.Overrun.Min(), sum.Overrun.Max())
+	fmt.Printf("  fuzzy relationships (Pearson r):     exec~read %.2f, exec~hit %.2f, read~hit-wait %.2f\n",
+		sum.CorrExecVsRead, sum.CorrExecVsHit, sum.CorrReadVsHitWait)
+
+	fmt.Println("\nper-pattern breakdown (§V-F):")
+	for _, kind := range rapid.PatternKinds {
+		g := s.ByPattern()[kind]
+		fmt.Printf("  %-4s median exec reduction %+6.1f%%, read reduction %+6.1f%%, hit %.3f\n",
+			kind, g.Exec.Median(), g.Read.Median(), g.Hit.Median())
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
+		figs := map[string]*rapid.Figure{
+			"fig03_read_time.csv":     s.Fig3ReadTime(),
+			"fig04_hit_ratio_cdf.csv": s.Fig4HitRatioCDF(),
+			"fig05_hit_kinds_cdf.csv": s.Fig5HitKindsCDF(),
+			"fig06_read_vs_wait.csv":  s.Fig6ReadVsHitWait(),
+			"fig07_disk_response.csv": s.Fig7DiskResponse(),
+			"fig08_total_time.csv":    s.Fig8TotalTime(),
+			"fig09_sync_time.csv":     s.Fig9SyncTime(),
+			"fig10_exec_vs_read.csv":  s.Fig10ExecVsRead(),
+			"fig11_exec_vs_hit.csv":   s.Fig11ExecVsHitRatio(),
+		}
+		for name, fig := range figs {
+			path := filepath.Join(*csvDir, name)
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "suite:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("\nwrote %d CSV files to %s\n", len(figs), *csvDir)
+	}
+}

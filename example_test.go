@@ -1,0 +1,89 @@
+package rapid_test
+
+import (
+	"fmt"
+
+	rapid "repro"
+)
+
+// The basic flow: configure a run, execute it, read the measures.
+func Example() {
+	cfg := rapid.DefaultConfig(rapid.GW) // global whole-file pattern
+	cfg.Sync = rapid.SyncEveryNEach      // barrier every 10 blocks/process
+	base := rapid.MustRun(cfg)
+
+	cfg.Prefetch = true
+	pf := rapid.MustRun(cfg)
+
+	fmt.Printf("hit ratio %.2f -> %.2f\n", base.HitRatio(), pf.HitRatio())
+	fmt.Printf("faster: %v\n", pf.TotalTime < base.TotalTime)
+	// Output:
+	// hit ratio 0.00 -> 0.98
+	// faster: true
+}
+
+// Runs are deterministic: the same configuration always produces the
+// same result, event for event.
+func ExampleRun_deterministic() {
+	cfg := rapid.DefaultConfig(rapid.GRP)
+	cfg.Prefetch = true
+	a := rapid.MustRun(cfg)
+	b := rapid.MustRun(cfg)
+	fmt.Println(a.TotalTime == b.TotalTime)
+	// Output:
+	// true
+}
+
+// Patterns can be generated and inspected independently of the engine.
+func ExampleGeneratePattern() {
+	cfg := rapid.DefaultPattern(rapid.LW)
+	cfg.Procs = 4
+	cfg.BlocksPerProc = 25
+	pat, err := rapid.GeneratePattern(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("file %d blocks, %d total reads\n", pat.FileBlocks, pat.TotalReads())
+	// Output:
+	// file 25 blocks, 100 total reads
+}
+
+// On-the-fly predictors replace the paper's oracle reference strings.
+func ExampleConfig_predictor() {
+	cfg := rapid.DefaultConfig(rapid.GW)
+	cfg.Prefetch = true
+	cfg.Predictor = rapid.PredictGAPS // global sequentiality detector
+	r := rapid.MustRun(cfg)
+	fmt.Printf("hit ratio above 0.9: %v\n", r.HitRatio() > 0.9)
+	// Output:
+	// hit ratio above 0.9: true
+}
+
+// The FileSystem API embeds the substrates in user simulations, outside
+// the paper's testbed.
+func ExampleFileSystem() {
+	k := rapid.NewKernel()
+	fsys := rapid.NewFileSystem(k, rapid.FSOptions{
+		Disks:           4,
+		CacheFrames:     16,
+		ReadaheadFrames: 8,
+		Readahead:       2,
+	})
+	f, err := fsys.Create("dataset", 64)
+	if err != nil {
+		panic(err)
+	}
+	var last rapid.Duration
+	k.Spawn("reader", 0, func(p *rapid.Proc) {
+		h := f.OpenHandle(0)
+		defer h.Close()
+		for b := 0; b < 8; b++ {
+			last = h.Read(p, b)
+		}
+	})
+	k.Run()
+	// With depth-2 readahead, later sequential reads hit the cache.
+	fmt.Println(last < 30*rapid.Millisecond)
+	// Output:
+	// true
+}

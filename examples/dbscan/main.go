@@ -1,0 +1,56 @@
+// Dbscan: a database workload of the kind the paper's introduction
+// motivates ("manipulation of large databases", cf. Boral & DeWitt's
+// I/O-bottleneck argument in §II).
+//
+// Twenty scan operators cooperate on a selective segment scan of a
+// relation: the qualifying segments are contiguous runs of pages at
+// unpredictable places — the global random-portion (grp) pattern, where
+// the prefetcher must not run past a segment boundary until a demand
+// fetch establishes the next segment. The example also shows how the
+// number of prefetch buffers per operator changes the outcome (§V-F).
+//
+//	go run ./examples/dbscan
+package main
+
+import (
+	"fmt"
+
+	rapid "repro"
+)
+
+func main() {
+	fmt.Println("Parallel selective relation scan — 20 operators, random qualifying segments")
+	fmt.Println()
+
+	mk := func(buffers int, prefetch bool) *rapid.Result {
+		cfg := rapid.DefaultConfig(rapid.GRP)
+		cfg.Sync = rapid.SyncEveryNAll // flow-control every 200 pages total
+		cfg.PrefetchBuffersPerProc = buffers
+		cfg.Prefetch = prefetch
+		return rapid.MustRun(cfg)
+	}
+
+	base := mk(3, false)
+	fmt.Printf("no prefetching:          %8.0f ms  (read %6.2f ms, hit %.3f)\n",
+		base.TotalTimeMillis(), base.ReadTime.Mean(), base.HitRatio())
+
+	for _, buffers := range []int{1, 2, 3, 5} {
+		r := mk(buffers, true)
+		fmt.Printf("prefetch, %d buf/op:      %8.0f ms  (read %6.2f ms, hit %.3f, %+.1f%%)\n",
+			buffers, r.TotalTimeMillis(), r.ReadTime.Mean(), r.HitRatio(),
+			-rapid.PercentReduction(base.TotalTimeMillis(), r.TotalTimeMillis()))
+	}
+
+	fmt.Println()
+	r := mk(3, true)
+	fmt.Printf("with 3 buffers/operator: %d pages prefetched, %d demand-fetched,\n",
+		r.Cache.PrefetchesIssued, r.Cache.Misses)
+	fmt.Printf("%d attempts declined or failed on buffer limits\n",
+		r.Cache.FailsGlobalLimit+r.Cache.FailsNodeLimit+r.Cache.FailsNoBuffer)
+	fmt.Println()
+	fmt.Println("Each segment's first page must be demand-fetched (its location is")
+	fmt.Println("unpredictable), then read-ahead streams the rest of the segment —")
+	fmt.Println("which is why the hit ratio tracks the mean segment length and why")
+	fmt.Println("one prefetch buffer per operator is measurably worse while three")
+	fmt.Println("or more are nearly indistinguishable (§V-F).")
+}

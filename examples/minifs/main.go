@@ -1,0 +1,89 @@
+// Minifs: use the library's reusable parallel file system directly,
+// outside the paper's controlled testbed. A simulated ETL job stages
+// two datasets onto a 8-disk array and runs twelve workers that merge
+// them — showing multiple files, per-client handles, shared caching and
+// sequential readahead as an embeddable API.
+//
+//	go run ./examples/minifs
+package main
+
+import (
+	"fmt"
+
+	rapid "repro"
+)
+
+const (
+	disks     = 8
+	workers   = 12
+	factRows  = 480 // blocks of the fact file
+	dimBlocks = 64  // blocks of the dimension file (hot, re-read)
+)
+
+func main() {
+	fmt.Println("Mini parallel FS — 12 workers merging two files on 8 disks")
+	fmt.Println()
+	for _, readahead := range []int{0, 2, 4} {
+		elapsed, stats := run(readahead)
+		fmt.Printf("readahead %d: job finished in %8.0f ms  (hit ratio %.3f, %d disk reads)\n",
+			readahead, elapsed.Millis(), stats.hitRatio, stats.served)
+	}
+	fmt.Println()
+	fmt.Println("The dimension file stays cached after the first pass while the")
+	fmt.Println("fact file streams through; readahead overlaps each worker's fact")
+	fmt.Println("I/O with its join work, so deeper readahead shortens the job")
+	fmt.Println("until the disks saturate.")
+}
+
+type jobStats struct {
+	hitRatio float64
+	served   int64
+}
+
+func run(readahead int) (rapid.Duration, jobStats) {
+	k := rapid.NewKernel()
+	fsys := rapid.NewFileSystem(k, rapid.FSOptions{
+		Disks:           disks,
+		DiskProfile:     rapid.FixedDisk(30 * rapid.Millisecond),
+		CacheFrames:     dimBlocks + 2*workers, // dimension table + working set
+		ReadaheadFrames: 4 * workers,
+		Readahead:       readahead,
+		Nodes:           workers,
+		Memory:          rapid.DefaultMemory(),
+	})
+	fact, err := fsys.Create("fact", factRows)
+	if err != nil {
+		panic(err)
+	}
+	dim, err := fsys.Create("dim", dimBlocks)
+	if err != nil {
+		panic(err)
+	}
+
+	var finish rapid.Time
+	for w := 0; w < workers; w++ {
+		w := w
+		k.Spawn(fmt.Sprintf("worker%d", w), 0, func(p *rapid.Proc) {
+			hf := fact.OpenHandle(w)
+			hd := dim.OpenHandle(w)
+			defer hf.Close()
+			defer hd.Close()
+			// Each worker owns a contiguous run of fact blocks and joins
+			// each against one dimension block.
+			per := factRows / workers
+			for i := 0; i < per; i++ {
+				b := w*per + i
+				hf.Read(p, b)
+				hd.Read(p, b%dimBlocks)
+				p.Advance(5 * rapid.Millisecond) // join work
+			}
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+	}
+	k.Run()
+	cs := fsys.CacheStats()
+	served, _ := fsys.DiskStats()
+	return rapid.Duration(finish), jobStats{hitRatio: cs.HitRatio(), served: served}
+}

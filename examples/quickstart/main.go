@@ -1,0 +1,49 @@
+// Quickstart: run one workload through the RAPID Transit testbed with
+// and without prefetching and compare the paper's headline measures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	rapid "repro"
+)
+
+func main() {
+	// The paper's base configuration: 20 processors, 20 disks, a file of
+	// 1 KB blocks interleaved round-robin, 30 ms disk access time, and
+	// the global whole-file access pattern — processes cooperate to read
+	// every block exactly once, synchronizing after every 10 blocks each.
+	cfg := rapid.DefaultConfig(rapid.GW)
+	cfg.Sync = rapid.SyncEveryNEach
+
+	fmt.Println("RAPID Transit quickstart — global whole-file read, 20 processes")
+	fmt.Println()
+
+	base := rapid.MustRun(cfg)
+	fmt.Print(base)
+	fmt.Println()
+
+	cfg.Prefetch = true
+	pf := rapid.MustRun(cfg)
+	fmt.Print(pf)
+	fmt.Println()
+
+	fmt.Printf("prefetching changed:\n")
+	fmt.Printf("  total execution time   %8.0f ms -> %8.0f ms  (%+.1f%%)\n",
+		base.TotalTimeMillis(), pf.TotalTimeMillis(),
+		-rapid.PercentReduction(base.TotalTimeMillis(), pf.TotalTimeMillis()))
+	fmt.Printf("  average block read     %8.2f ms -> %8.2f ms  (%+.1f%%)\n",
+		base.ReadTime.Mean(), pf.ReadTime.Mean(),
+		-rapid.PercentReduction(base.ReadTime.Mean(), pf.ReadTime.Mean()))
+	fmt.Printf("  cache hit ratio        %8.3f    -> %8.3f\n", base.HitRatio(), pf.HitRatio())
+	fmt.Printf("  disk response time     %8.2f ms -> %8.2f ms  (contention)\n",
+		base.DiskResponse.Mean(), pf.DiskResponse.Mean())
+	fmt.Printf("  mean sync wait         %8.2f ms -> %8.2f ms\n",
+		base.SyncTime.Mean(), pf.SyncTime.Mean())
+	fmt.Println()
+	fmt.Println("Note the paper's central observation: the hit ratio and read time")
+	fmt.Println("improve dramatically, but part of the savings converts into longer")
+	fmt.Println("synchronization waits rather than completion-time reduction.")
+}

@@ -1,0 +1,58 @@
+// Seismic: a sensor-data analysis workload of the kind the paper's
+// introduction motivates ("simulations or analysis of physical
+// processes based on sensor data (such as seismic data)").
+//
+// Twenty workers sweep a large trace file cooperatively — the global
+// whole-file pattern — applying a per-block filter whose cost varies
+// from nearly free (ingest) to heavy (full migration). The example
+// reproduces the §V-C finding: prefetching helps most when computation
+// and I/O are balanced, because then the read-ahead genuinely overlaps
+// the two.
+//
+//	go run ./examples/seismic
+package main
+
+import (
+	"fmt"
+
+	rapid "repro"
+)
+
+func main() {
+	fmt.Println("Seismic trace analysis — 20 workers, one 2 MB trace over 20 disks")
+	fmt.Println()
+	fmt.Printf("%-22s %14s %14s %9s %9s\n",
+		"per-block processing", "no prefetch", "prefetch", "speedup", "hit ratio")
+
+	for _, stage := range []struct {
+		name    string
+		compute float64 // mean ms of processing per block
+	}{
+		{"ingest (0 ms)", 0},
+		{"quick-look (10 ms)", 10},
+		{"filtering (30 ms)", 30},
+		{"migration (60 ms)", 60},
+	} {
+		cfg := rapid.DefaultConfig(rapid.GW)
+		cfg.Sync = rapid.SyncEveryNEach // checkpoint every 10 traces per worker
+		cfg.ComputeMean = rapid.Millis(stage.compute)
+
+		base := rapid.MustRun(cfg)
+		cfg.Prefetch = true
+		pf := rapid.MustRun(cfg)
+		cfg.Prefetch = false
+
+		fmt.Printf("%-22s %11.0f ms %11.0f ms %8.2fx %9.3f\n",
+			stage.name,
+			base.TotalTimeMillis(), pf.TotalTimeMillis(),
+			base.TotalTimeMillis()/pf.TotalTimeMillis(),
+			pf.HitRatio())
+	}
+
+	fmt.Println()
+	fmt.Println("When the workers are purely I/O bound the disks are already the")
+	fmt.Println("bottleneck and prefetching has little to overlap; as per-block")
+	fmt.Println("processing grows, read-ahead hides the disk latency behind the")
+	fmt.Println("computation until the job becomes compute-bound and the I/O time")
+	fmt.Println("no longer matters (the paper's Fig. 12).")
+}

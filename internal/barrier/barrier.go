@@ -1,0 +1,161 @@
+// Package barrier implements the synchronization styles of the paper's
+// synthetic workload (§IV-B): processes synchronize after a fixed number
+// of blocks per process, after a fixed number of blocks in total, after
+// each sequential portion, or not at all.
+//
+// The core primitive is a reusable barrier whose arrival is split in
+// two: a process registers its arrival and receives the release Event,
+// then decides how to spend the wait — the engine runs prefetch actions
+// during exactly this window. Processes that finish their workload can
+// Withdraw so that patterns with unequal work per process (e.g., random
+// portions) cannot deadlock the rest.
+package barrier
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Style is a synchronization style from the paper.
+type Style int
+
+// The four synchronization styles.
+const (
+	None          Style = iota // no synchronization
+	EveryNPerProc              // after every N blocks read by each process
+	EveryNTotal                // after every N blocks read in total
+	PerPortion                 // after each sequential portion
+)
+
+// Styles lists all synchronization styles in the paper's order.
+var Styles = []Style{EveryNPerProc, EveryNTotal, PerPortion, None}
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case None:
+		return "none"
+	case EveryNPerProc:
+		return "each"
+	case EveryNTotal:
+		return "total"
+	case PerPortion:
+		return "portion"
+	}
+	return fmt.Sprintf("Style(%d)", int(s))
+}
+
+// Parse converts a style name to a Style.
+func Parse(s string) (Style, error) {
+	for _, st := range Styles {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("barrier: unknown style %q", s)
+}
+
+// Barrier is a reusable synchronization barrier for a fixed set of
+// parties, with support for withdrawal.
+type Barrier struct {
+	k       *sim.Kernel
+	parties int
+	arrived int
+	release *sim.Event
+	// counts for introspection
+	generations int
+}
+
+// New returns a barrier for the given number of parties.
+func New(k *sim.Kernel, parties int) *Barrier {
+	if parties <= 0 {
+		panic("barrier: need at least one party")
+	}
+	return &Barrier{k: k, parties: parties, release: sim.NewEvent(k)}
+}
+
+// Parties returns the number of currently participating processes.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Arrived returns how many parties have arrived in the current
+// generation.
+func (b *Barrier) Arrived() int { return b.arrived }
+
+// Generations returns how many times the barrier has released.
+func (b *Barrier) Generations() int { return b.generations }
+
+// Arrive registers the caller's arrival at the current generation and
+// returns the event that fires when the generation releases, along with
+// whether the caller was the last arrival (in which case the event has
+// already fired). The caller then waits on the event however it likes —
+// in the testbed, by running prefetch actions.
+func (b *Barrier) Arrive() (release *sim.Event, last bool) {
+	if b.parties == 0 {
+		panic("barrier: Arrive with no parties")
+	}
+	b.arrived++
+	ev := b.release
+	if b.arrived == b.parties {
+		b.open()
+		return ev, true
+	}
+	return ev, false
+}
+
+// Withdraw removes the caller from the barrier's party set, releasing
+// the current generation if the caller was the only absentee.
+func (b *Barrier) Withdraw() {
+	if b.parties == 0 {
+		panic("barrier: Withdraw with no parties")
+	}
+	b.parties--
+	if b.parties > 0 && b.arrived == b.parties {
+		b.open()
+	}
+	// If parties reached zero with stragglers waiting, that is a caller
+	// bug (a waiter cannot have withdrawn), so nothing to do here.
+}
+
+func (b *Barrier) open() {
+	b.generations++
+	b.arrived = 0
+	ev := b.release
+	b.release = sim.NewEvent(b.k)
+	ev.Fire()
+}
+
+// GenCounter tracks the sync generations demanded by the global styles
+// (EveryNTotal, global PerPortion): reads or portion completions raise
+// generations, and every process must pass each generation once.
+type GenCounter struct {
+	n      int // reads per generation for EveryNTotal; 0 for manual raising
+	reads  int
+	raised int
+}
+
+// NewGenCounter returns a counter that raises one generation every n
+// reads, or only on explicit Raise calls if n is zero.
+func NewGenCounter(n int) *GenCounter {
+	if n < 0 {
+		panic("barrier: negative generation interval")
+	}
+	return &GenCounter{n: n}
+}
+
+// ReadDone records one completed read (any process).
+func (g *GenCounter) ReadDone() {
+	g.reads++
+	if g.n > 0 && g.reads%g.n == 0 {
+		g.raised++
+	}
+}
+
+// Raise raises a generation explicitly (global portion completion).
+func (g *GenCounter) Raise() { g.raised++ }
+
+// Raised returns the total generations demanded so far.
+func (g *GenCounter) Raised() int { return g.raised }
+
+// Reads returns the total reads recorded.
+func (g *GenCounter) Reads() int { return g.reads }

@@ -1,0 +1,233 @@
+package barrier
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestStyleStringAndParse(t *testing.T) {
+	for _, s := range Styles {
+		got, err := Parse(s.String())
+		if err != nil || got != s {
+			t.Fatalf("Parse(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Fatal("Parse accepted unknown style")
+	}
+	if Style(77).String() == "" {
+		t.Fatal("unknown style should format")
+	}
+}
+
+func TestBarrierReleasesWhenAllArrive(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 3)
+	var releaseTimes []sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
+			p.Advance(sim.Duration(i*10) * sim.Millisecond)
+			ev, last := b.Arrive()
+			if last != (i == 2) {
+				t.Errorf("p%d last=%v", i, last)
+			}
+			ev.Wait(p)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	k.Run()
+	for _, rt := range releaseTimes {
+		if rt != sim.Time(20*sim.Millisecond) {
+			t.Fatalf("release at %v, want 20ms", rt)
+		}
+	}
+	if b.Generations() != 1 {
+		t.Fatalf("generations = %d", b.Generations())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 2)
+	hits := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
+			for round := 0; round < 5; round++ {
+				p.Advance(sim.Duration(1+i) * sim.Millisecond)
+				ev, _ := b.Arrive()
+				ev.Wait(p)
+				hits++
+			}
+		})
+	}
+	k.Run()
+	if hits != 10 || b.Generations() != 5 {
+		t.Fatalf("hits=%d generations=%d", hits, b.Generations())
+	}
+}
+
+func TestLastArrivalEventAlreadyFired(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 1)
+	k.Spawn("solo", 0, func(p *sim.Proc) {
+		ev, last := b.Arrive()
+		if !last {
+			t.Error("solo arrival should be last")
+		}
+		if !ev.Fired() {
+			t.Error("event should have fired for last arrival")
+		}
+		if w := ev.Wait(p); w != 0 {
+			t.Errorf("wait took %v", w)
+		}
+	})
+	k.Run()
+}
+
+func TestWithdrawReleasesWaiters(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 3)
+	var released sim.Time = -1
+	k.Spawn("waiter", 0, func(p *sim.Proc) {
+		ev, _ := b.Arrive()
+		ev.Wait(p)
+		released = p.Now()
+	})
+	k.Spawn("waiter2", 0, func(p *sim.Proc) {
+		p.Advance(5 * sim.Millisecond)
+		ev, _ := b.Arrive()
+		ev.Wait(p)
+	})
+	k.Spawn("quitter", 0, func(p *sim.Proc) {
+		p.Advance(10 * sim.Millisecond)
+		b.Withdraw()
+	})
+	k.Run()
+	if released != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("released at %v, want 10ms (withdraw time)", released)
+	}
+	if b.Parties() != 2 {
+		t.Fatalf("parties = %d after withdraw", b.Parties())
+	}
+}
+
+func TestWithdrawWithoutWaiters(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 2)
+	b.Withdraw()
+	b.Withdraw()
+	if b.Parties() != 0 {
+		t.Fatalf("parties = %d", b.Parties())
+	}
+	if b.Generations() != 0 {
+		t.Fatal("withdrawals alone should not release generations")
+	}
+}
+
+func TestBarrierPanics(t *testing.T) {
+	k := sim.NewKernel()
+	for i, fn := range []func(){
+		func() { New(k, 0) },
+		func() { b := New(k, 1); b.Withdraw(); b.Withdraw() },
+		func() { b := New(k, 1); b.Withdraw(); b.Arrive() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArrivedCount(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 3)
+	k.Spawn("p", 0, func(p *sim.Proc) {
+		b.Arrive()
+		if b.Arrived() != 1 {
+			t.Errorf("arrived = %d", b.Arrived())
+		}
+	})
+	k.Spawn("q", 1, func(p *sim.Proc) {
+		b.Arrive()
+		if b.Arrived() != 2 {
+			t.Errorf("arrived = %d", b.Arrived())
+		}
+		b.Withdraw() // third party never shows; release now
+	})
+	k.Run()
+	if b.Arrived() != 0 {
+		t.Fatalf("arrived after release = %d", b.Arrived())
+	}
+}
+
+func TestGenCounterEveryN(t *testing.T) {
+	g := NewGenCounter(5)
+	for i := 1; i <= 12; i++ {
+		g.ReadDone()
+	}
+	if g.Raised() != 2 {
+		t.Fatalf("raised = %d, want 2", g.Raised())
+	}
+	if g.Reads() != 12 {
+		t.Fatalf("reads = %d", g.Reads())
+	}
+}
+
+func TestGenCounterManual(t *testing.T) {
+	g := NewGenCounter(0)
+	g.ReadDone()
+	g.ReadDone()
+	if g.Raised() != 0 {
+		t.Fatal("reads should not raise with n=0")
+	}
+	g.Raise()
+	g.Raise()
+	if g.Raised() != 2 {
+		t.Fatalf("raised = %d", g.Raised())
+	}
+}
+
+func TestGenCounterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative interval did not panic")
+		}
+	}()
+	NewGenCounter(-1)
+}
+
+// Barrier + withdraw stress: parties with different amounts of work must
+// all terminate (no deadlock) and observe consistent generations.
+func TestUnequalWorkNoDeadlock(t *testing.T) {
+	k := sim.NewKernel()
+	const parties = 6
+	b := New(k, parties)
+	finished := 0
+	for i := 0; i < parties; i++ {
+		rounds := 1 + i // unequal
+		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Advance(sim.Millisecond)
+				ev, _ := b.Arrive()
+				ev.Wait(p)
+			}
+			b.Withdraw()
+			finished++
+		})
+	}
+	k.Run()
+	if finished != parties {
+		t.Fatalf("finished = %d", finished)
+	}
+	if b.Generations() != parties {
+		t.Fatalf("generations = %d, want %d", b.Generations(), parties)
+	}
+}

@@ -1,0 +1,676 @@
+// Package cache implements the shared block buffer cache of the RAPID
+// Transit testbed.
+//
+// The cache holds a fixed population of buffers. A buffer is either
+// invalid (on the free list), fetching (a disk transfer is in flight),
+// or ready. Processes pin the buffers they are using; each simulated
+// processor keeps a small "recently used" (RU) set of pinned buffers —
+// size one in the paper, emulating a toss-immediately policy — and
+// buffers evicted from an RU set join a global least-recently-used list
+// of reusable buffers that still satisfy lookups until their frames are
+// recycled. This combination gives the paper's "strong locality for the
+// more complex list manipulations while enforcing a global policy".
+//
+// Prefetched-but-not-yet-used buffers are tracked separately: the paper
+// caps them at three per processor node (60 total for 20 nodes), and
+// they are exempt from reuse until a process first reads them
+// ("consumes" them). Both the global-pool interpretation (any node may
+// grab any free prefetch slot; the paper's observed behaviour) and a
+// strict per-node allocation are implemented.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// State is the lifecycle state of a buffer.
+type State int
+
+// Buffer states.
+const (
+	Invalid  State = iota // no contents; on the free list
+	Fetching              // disk transfer in flight
+	Ready                 // contents valid
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Fetching:
+		return "fetching"
+	case Ready:
+		return "ready"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Buffer is one cache frame.
+type Buffer struct {
+	id    int
+	block int // logical block held, or -1 when Invalid
+	state State
+	pins  int
+
+	// prefetched is true from prefetch allocation until first use.
+	prefetched   bool
+	prefetchedBy int // node that issued the prefetch
+	// home is the node whose processor fetched the block: on a NUMA
+	// machine the buffer memory lives there, and other nodes pay remote
+	// references to copy from it (paper footnote 1).
+	home int
+
+	// IODone fires when the in-flight transfer completes. Valid while
+	// Fetching (and afterwards, fired).
+	IODone *sim.Event
+	// fetchStarted records when the transfer was enqueued; fetchDone is
+	// the file system's completion estimate (exact for FIFO disks with
+	// fixed access time), used for idle-time planning.
+	fetchStarted sim.Time
+	fetchDone    sim.Time
+
+	// class is fixed at construction: demand or prefetch frame.
+	class Class
+
+	// reusable-list linkage.
+	prev, next *Buffer
+	onLRU      bool
+}
+
+// ID returns the frame number.
+func (b *Buffer) ID() int { return b.id }
+
+// Block returns the logical block held (or -1).
+func (b *Buffer) Block() int { return b.block }
+
+// State returns the buffer's lifecycle state.
+func (b *Buffer) State() State { return b.state }
+
+// Pins returns the current pin count.
+func (b *Buffer) Pins() int { return b.pins }
+
+// Prefetched reports whether the buffer holds a prefetched block that no
+// process has used yet.
+func (b *Buffer) Prefetched() bool { return b.prefetched }
+
+// Home returns the node whose processor fetched the block (where the
+// buffer memory lives on a NUMA machine).
+func (b *Buffer) Home() int { return b.home }
+
+// Class returns the frame's fixed class.
+func (b *Buffer) Class() Class { return b.class }
+
+// FetchStarted returns when the in-flight (or completed) transfer was
+// enqueued.
+func (b *Buffer) FetchStarted() sim.Time { return b.fetchStarted }
+
+// FetchDone returns the file system's estimate of when the in-flight
+// (or completed) transfer completes, derived from the disk queue state
+// at submission and used to estimate remaining idle time.
+func (b *Buffer) FetchDone() sim.Time { return b.fetchDone }
+
+// PrefetchFail classifies why a prefetch allocation could not proceed.
+type PrefetchFail int
+
+// Prefetch allocation outcomes.
+const (
+	PrefetchOK      PrefetchFail = iota
+	FailInCache                  // block already cached (not an error; pick another block)
+	FailGlobalLimit              // prefetched-unused global cap reached
+	FailNodeLimit                // per-node cap reached (per-node policy only)
+	FailNoBuffer                 // no free or reusable frame
+)
+
+// String names the outcome.
+func (f PrefetchFail) String() string {
+	switch f {
+	case PrefetchOK:
+		return "ok"
+	case FailInCache:
+		return "in-cache"
+	case FailGlobalLimit:
+		return "global-limit"
+	case FailNodeLimit:
+		return "node-limit"
+	case FailNoBuffer:
+		return "no-buffer"
+	}
+	return fmt.Sprintf("PrefetchFail(%d)", int(f))
+}
+
+// Class partitions the frame population: the paper allocates the
+// prefetch buffers separately from the per-processor demand buffers
+// ("three additional buffers per processor node ... to be used only for
+// prefetching"). A frame never changes class; a consumed prefetched
+// block keeps occupying a prefetch-class frame until it is recycled,
+// which is what lets prefetch attempts fail for lack of a free buffer
+// even when the prefetched-unused counters have room — the paper's lfp
+// waste mechanism.
+type Class int
+
+// Frame classes.
+const (
+	DemandClass Class = iota
+	PrefetchClass
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == DemandClass {
+		return "demand"
+	}
+	return "prefetch"
+}
+
+// Options configures a Cache.
+type Options struct {
+	// DemandFrames is the number of demand-class buffer frames (one per
+	// processor per RU-set slot in the paper).
+	DemandFrames int
+	// PrefetchFrames is the number of prefetch-class frames (three per
+	// processor in the paper; zero disables prefetch allocation).
+	PrefetchFrames int
+	// Nodes is the number of processor nodes (for per-node accounting).
+	Nodes int
+	// MaxPrefetchedUnused caps blocks that have been prefetched but not
+	// yet used, globally. Zero disables prefetch allocation entirely.
+	MaxPrefetchedUnused int
+	// MaxPerNodePrefetched, if non-zero, additionally caps the
+	// prefetched-unused blocks attributed to each node (strict per-node
+	// buffer allocation).
+	MaxPerNodePrefetched int
+	// EvictablePrefetched lets a prefetch allocation recycle the oldest
+	// never-used prefetched block (Ready, unconsumed) when no other
+	// frame is available. The paper's oracle policies never mispredict,
+	// so unconsumed prefetches always get used eventually; on-the-fly
+	// predictors DO mispredict, and without this option their mistakes
+	// would permanently clog the prefetch pool.
+	EvictablePrefetched bool
+}
+
+// Stats counts cache activity. Hits and misses follow the paper's
+// definitions: an access that finds a buffer reserved for its block is a
+// hit even if the data have not arrived (an "unready hit").
+type Stats struct {
+	ReadyHits   int64
+	UnreadyHits int64
+	Misses      int64 // demand fetches
+	// PrefetchesIssued counts successful prefetch allocations;
+	// PrefetchesConsumed counts the first use of a prefetched block.
+	PrefetchesIssued   int64
+	PrefetchesConsumed int64
+	// PrefetchFails counts failed attempts by reason.
+	FailsGlobalLimit int64
+	FailsNodeLimit   int64
+	FailsNoBuffer    int64
+	Evictions        int64
+	// PrefetchesEvicted counts prefetched blocks recycled before any
+	// process used them: the cost of mispredictions (EvictablePrefetched
+	// only).
+	PrefetchesEvicted int64
+}
+
+// Accesses returns the total number of block read requests observed.
+func (s *Stats) Accesses() int64 { return s.ReadyHits + s.UnreadyHits + s.Misses }
+
+// HitRatio returns the fraction of accesses that were (ready or unready)
+// hits.
+func (s *Stats) HitRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.ReadyHits+s.UnreadyHits) / float64(a)
+}
+
+// MissRatio returns 1 - HitRatio for non-empty stats.
+func (s *Stats) MissRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// Cache is the shared block cache. It is not safe for concurrent use;
+// the simulation kernel serializes all access.
+type Cache struct {
+	k    *sim.Kernel
+	opts Options
+
+	buffers []*Buffer
+	byBlock map[int]*Buffer
+	// Per-class free lists and reusable LRU lists. A reusable frame is
+	// Ready, unpinned, and not an unconsumed prefetch; it still
+	// satisfies lookups until recycled.
+	free [2][]*Buffer
+	lru  [2]lruList
+
+	prefetchedUnused int
+	perNode          []int
+	// pfOrder lists prefetched-unused buffers oldest first, for
+	// mistake eviction under EvictablePrefetched.
+	pfOrder []*Buffer
+
+	stats Stats
+
+	// Freed wakes processes waiting for a frame to become available.
+	Freed *sim.WaitQueue
+}
+
+// New creates a cache.
+func New(k *sim.Kernel, opts Options) *Cache {
+	if opts.DemandFrames <= 0 {
+		panic("cache: need at least one demand frame")
+	}
+	if opts.PrefetchFrames < 0 {
+		panic("cache: negative prefetch frame count")
+	}
+	if opts.Nodes <= 0 {
+		panic("cache: non-positive node count")
+	}
+	total := opts.DemandFrames + opts.PrefetchFrames
+	c := &Cache{
+		k:       k,
+		opts:    opts,
+		byBlock: make(map[int]*Buffer, total),
+		perNode: make([]int, opts.Nodes),
+		Freed:   sim.NewWaitQueue(k),
+	}
+	c.buffers = make([]*Buffer, total)
+	for i := range c.buffers {
+		class := DemandClass
+		if i >= opts.DemandFrames {
+			class = PrefetchClass
+		}
+		b := &Buffer{id: i, block: -1, class: class}
+		c.buffers[i] = b
+		c.free[class] = append(c.free[class], b)
+	}
+	return c
+}
+
+// Capacity returns the total number of frames.
+func (c *Cache) Capacity() int { return c.opts.DemandFrames + c.opts.PrefetchFrames }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// PrefetchedUnused returns the number of prefetched blocks not yet used.
+func (c *Cache) PrefetchedUnused() int { return c.prefetchedUnused }
+
+// AvailableFrames returns how many frames of the class could be claimed
+// right now (free plus reusable).
+func (c *Cache) AvailableFrames(class Class) int {
+	return len(c.free[class]) + c.lru[class].len
+}
+
+// Lookup returns the buffer holding the block, or nil. It does not pin
+// or record a hit; use Pin for the access path.
+func (c *Cache) Lookup(block int) *Buffer { return c.byBlock[block] }
+
+// Contains reports whether the block is present (fetching or ready).
+func (c *Cache) Contains(block int) bool { return c.byBlock[block] != nil }
+
+// Pin records an access by node to an existing buffer: the hit path.
+// It pins the buffer, removes it from the reusable list if necessary,
+// consumes prefetch accounting on first use, and classifies the hit.
+// The caller must have obtained buf from Lookup for the same block.
+func (c *Cache) Pin(node int, buf *Buffer) (ready bool) {
+	if buf.state == Invalid {
+		panic("cache: Pin on invalid buffer")
+	}
+	if buf.onLRU {
+		c.lru[buf.class].remove(buf)
+	}
+	buf.pins++
+	if buf.prefetched {
+		buf.prefetched = false
+		c.prefetchedUnused--
+		c.perNode[buf.prefetchedBy]--
+		c.stats.PrefetchesConsumed++
+		c.dropFromOrder(buf)
+		// A prefetch slot opened up; prefetchers poll rather than block,
+		// but a demand fetch may be waiting for a frame.
+		c.Freed.WakeAll()
+	}
+	if buf.state == Ready {
+		c.stats.ReadyHits++
+		return true
+	}
+	c.stats.UnreadyHits++
+	return false
+}
+
+// AllocateDemand claims a demand-class frame for a demand fetch of
+// block by node. It returns nil if no frame is available (the caller
+// should sleep on Freed and retry). On success the buffer is Fetching,
+// pinned once, and registered in the block map; the caller must submit
+// the disk request and call BeginFetch.
+func (c *Cache) AllocateDemand(node, block int) *Buffer {
+	if c.byBlock[block] != nil {
+		panic(fmt.Sprintf("cache: AllocateDemand for cached block %d", block))
+	}
+	buf := c.claimFrame(DemandClass)
+	if buf == nil {
+		return nil
+	}
+	c.stats.Misses++
+	buf.block = block
+	buf.state = Fetching
+	buf.pins = 1
+	buf.home = node
+	c.byBlock[block] = buf
+	return buf
+}
+
+// AllocateWrite claims a demand-class frame for freshly written data:
+// the block's entire contents are being replaced, so no read I/O is
+// needed and the buffer is immediately Ready, pinned once. Used by the
+// fs layer's write path (the testbed itself is read-only, as in the
+// paper).
+func (c *Cache) AllocateWrite(node, block int) *Buffer {
+	if c.byBlock[block] != nil {
+		panic(fmt.Sprintf("cache: AllocateWrite for cached block %d", block))
+	}
+	buf := c.claimFrame(DemandClass)
+	if buf == nil {
+		return nil
+	}
+	buf.block = block
+	buf.state = Ready
+	buf.pins = 1
+	buf.home = node
+	c.byBlock[block] = buf
+	return buf
+}
+
+// Retain adds a pin without recording a cache access — used to keep a
+// buffer resident while an asynchronous operation (e.g. a write-back)
+// is in flight. Pair with Unpin.
+func (c *Cache) Retain(buf *Buffer) {
+	if buf.state == Invalid {
+		panic("cache: Retain on invalid buffer")
+	}
+	if buf.onLRU {
+		c.lru[buf.class].remove(buf)
+	}
+	buf.pins++
+}
+
+// CanPrefetch reports whether the prefetched-unused limits allow a
+// prefetch by node right now. It is the cheap O(1) counter check a
+// prefetcher makes before committing to an action; frame scarcity is
+// deliberately NOT probed here — discovering there is no free frame
+// requires hunting through the buffer lists, i.e. a failed (and costly)
+// prefetch action, as the paper observed in its lfp experiments.
+func (c *Cache) CanPrefetch(node int) PrefetchFail {
+	if c.prefetchedUnused >= c.opts.MaxPrefetchedUnused {
+		// With mistake eviction enabled, a full pool may still admit a
+		// prefetch by recycling a misprediction — but finding one costs
+		// a real (possibly failed) action, so the cheap check passes.
+		if !c.opts.EvictablePrefetched {
+			return FailGlobalLimit
+		}
+	}
+	if c.opts.MaxPerNodePrefetched > 0 && c.perNode[node] >= c.opts.MaxPerNodePrefetched {
+		return FailNodeLimit
+	}
+	return PrefetchOK
+}
+
+// AllocatePrefetch claims a prefetch-class frame for a prefetch of
+// block by node, enforcing the prefetched-unused limits. On success the
+// buffer is Fetching, unpinned, flagged prefetched, and registered; the
+// caller must submit the disk request and call BeginFetch.
+func (c *Cache) AllocatePrefetch(node, block int) (*Buffer, PrefetchFail) {
+	if c.byBlock[block] != nil {
+		return nil, FailInCache
+	}
+	if c.opts.MaxPerNodePrefetched > 0 && c.perNode[node] >= c.opts.MaxPerNodePrefetched {
+		c.stats.FailsNodeLimit++
+		return nil, FailNodeLimit
+	}
+	var buf *Buffer
+	if c.prefetchedUnused >= c.opts.MaxPrefetchedUnused {
+		// Over the prefetched-unused cap: only mistake eviction can
+		// admit this prefetch (it frees both a slot and a frame).
+		if c.opts.EvictablePrefetched {
+			buf = c.evictUnconsumedPrefetch()
+		}
+		if buf == nil {
+			c.stats.FailsGlobalLimit++
+			return nil, FailGlobalLimit
+		}
+	} else {
+		buf = c.claimFrame(PrefetchClass)
+		if buf == nil && c.opts.EvictablePrefetched {
+			buf = c.evictUnconsumedPrefetch()
+		}
+	}
+	if buf == nil {
+		c.stats.FailsNoBuffer++
+		return nil, FailNoBuffer
+	}
+	buf.block = block
+	buf.state = Fetching
+	buf.prefetched = true
+	buf.prefetchedBy = node
+	buf.home = node
+	c.byBlock[block] = buf
+	c.prefetchedUnused++
+	c.perNode[node]++
+	c.pfOrder = append(c.pfOrder, buf)
+	c.stats.PrefetchesIssued++
+	return buf, PrefetchOK
+}
+
+// evictUnconsumedPrefetch recycles the oldest Ready, never-used
+// prefetched block — a misprediction that is costing a frame. Blocks
+// whose I/O is still in flight are not touched.
+func (c *Cache) evictUnconsumedPrefetch() *Buffer {
+	for i, b := range c.pfOrder {
+		if b.prefetched && b.state == Ready {
+			c.pfOrder = append(c.pfOrder[:i], c.pfOrder[i+1:]...)
+			b.prefetched = false
+			c.prefetchedUnused--
+			c.perNode[b.prefetchedBy]--
+			c.stats.PrefetchesEvicted++
+			c.stats.Evictions++
+			delete(c.byBlock, b.block)
+			b.block = -1
+			b.state = Invalid
+			b.IODone = nil
+			return b
+		}
+	}
+	return nil
+}
+
+// BeginFetch associates an in-flight disk transfer with the buffer: the
+// buffer becomes Ready the moment done fires (before any waiter
+// resumes). estDone is the completion estimate available at submission,
+// kept for idle-time planning.
+func (c *Cache) BeginFetch(buf *Buffer, done *sim.Event, estDone sim.Time) {
+	if buf.state != Fetching {
+		panic("cache: BeginFetch on buffer not in Fetching state")
+	}
+	buf.IODone = done
+	buf.fetchStarted = c.k.Now()
+	buf.fetchDone = estDone
+	done.OnFire(func() { c.markReady(buf) })
+}
+
+func (c *Cache) markReady(buf *Buffer) {
+	if buf.state != Fetching {
+		panic(fmt.Sprintf("cache: markReady on %v buffer", buf.state))
+	}
+	buf.state = Ready
+	// A ready, unpinned, non-prefetched buffer would be reusable, but
+	// that combination cannot arise here: demand fetches stay pinned by
+	// their requester and prefetched buffers await consumption.
+}
+
+// Unpin releases one pin. When the last pin drops and the buffer is
+// Ready and not an unconsumed prefetch, the frame joins its class's
+// reusable list (still satisfying lookups) and a waiter, if any, is
+// woken.
+func (c *Cache) Unpin(buf *Buffer) {
+	if buf.pins <= 0 {
+		panic("cache: Unpin without pin")
+	}
+	buf.pins--
+	if buf.pins == 0 && buf.state == Ready && !buf.prefetched {
+		c.lru[buf.class].pushTail(buf)
+		c.Freed.WakeAll()
+	}
+}
+
+func (c *Cache) dropFromOrder(buf *Buffer) {
+	for i, b := range c.pfOrder {
+		if b == buf {
+			c.pfOrder = append(c.pfOrder[:i], c.pfOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// claimFrame takes an invalid frame of the class from its free list, or
+// recycles the class's least recently used reusable frame.
+func (c *Cache) claimFrame(class Class) *Buffer {
+	if n := len(c.free[class]); n > 0 {
+		buf := c.free[class][n-1]
+		c.free[class] = c.free[class][:n-1]
+		return buf
+	}
+	buf := c.lru[class].popHead()
+	if buf == nil {
+		return nil
+	}
+	c.stats.Evictions++
+	delete(c.byBlock, buf.block)
+	buf.block = -1
+	buf.state = Invalid
+	buf.IODone = nil
+	return buf
+}
+
+// WastedPrefetches returns how many prefetched blocks were never used.
+// Meaningful at the end of a run.
+func (c *Cache) WastedPrefetches() int64 {
+	return c.stats.PrefetchesIssued - c.stats.PrefetchesConsumed
+}
+
+// CheckInvariants panics if internal bookkeeping is inconsistent. Tests
+// and the engine's debug mode call it.
+func (c *Cache) CheckInvariants() {
+	for class := DemandClass; class <= PrefetchClass; class++ {
+		for _, b := range c.free[class] {
+			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.class != class {
+				panic(fmt.Sprintf("cache: corrupt free buffer %d", b.id))
+			}
+		}
+	}
+	pf := 0
+	perNode := make([]int, c.opts.Nodes)
+	mapped := 0
+	for _, b := range c.buffers {
+		if b.block >= 0 {
+			if c.byBlock[b.block] != b {
+				panic(fmt.Sprintf("cache: buffer %d not in map for block %d", b.id, b.block))
+			}
+			mapped++
+		}
+		if b.prefetched {
+			if b.pins != 0 {
+				panic(fmt.Sprintf("cache: prefetched-unused buffer %d is pinned", b.id))
+			}
+			if b.class != PrefetchClass {
+				panic(fmt.Sprintf("cache: prefetched block in demand frame %d", b.id))
+			}
+			pf++
+			perNode[b.prefetchedBy]++
+		}
+		if b.onLRU && (b.pins != 0 || b.state != Ready || b.prefetched) {
+			panic(fmt.Sprintf("cache: buffer %d on LRU in wrong state", b.id))
+		}
+	}
+	if mapped != len(c.byBlock) {
+		panic("cache: block map size mismatch")
+	}
+	if pf != c.prefetchedUnused {
+		panic(fmt.Sprintf("cache: prefetchedUnused=%d but counted %d", c.prefetchedUnused, pf))
+	}
+	if len(c.pfOrder) != pf {
+		panic(fmt.Sprintf("cache: pfOrder has %d entries, want %d", len(c.pfOrder), pf))
+	}
+	for _, b := range c.pfOrder {
+		if !b.prefetched {
+			panic(fmt.Sprintf("cache: consumed buffer %d still in pfOrder", b.id))
+		}
+	}
+	for n, v := range perNode {
+		if v != c.perNode[n] {
+			panic(fmt.Sprintf("cache: perNode[%d]=%d but counted %d", n, c.perNode[n], v))
+		}
+	}
+	for class := DemandClass; class <= PrefetchClass; class++ {
+		if c.lru[class].len < 0 || c.lru[class].len > c.Capacity() {
+			panic("cache: LRU length out of range")
+		}
+	}
+}
+
+// lruList is an intrusive doubly-linked list of reusable buffers,
+// ordered least recently used first.
+type lruList struct {
+	head, tail *Buffer
+	len        int
+}
+
+func (l *lruList) pushTail(b *Buffer) {
+	if b.onLRU {
+		panic("cache: buffer already on LRU")
+	}
+	b.onLRU = true
+	b.prev = l.tail
+	b.next = nil
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+	l.len++
+}
+
+func (l *lruList) remove(b *Buffer) {
+	if !b.onLRU {
+		panic("cache: removing buffer not on LRU")
+	}
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+	b.onLRU = false
+	l.len--
+}
+
+func (l *lruList) popHead() *Buffer {
+	if l.head == nil {
+		return nil
+	}
+	b := l.head
+	l.remove(b)
+	return b
+}

@@ -1,0 +1,268 @@
+// Package core implements the RAPID Transit testbed engine: simulated
+// processors running a synthetic parallel application over the
+// interleaved file system, with the shared block cache, idle-time
+// prefetching, synchronization, and the full measurement set of the
+// paper (§IV-C).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/disk"
+	"repro/internal/interleave"
+	"repro/internal/memory"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+// Config fully describes one experimental run.
+type Config struct {
+	// Procs is the number of processors, one user process each.
+	Procs int
+	// Disks is the number of parallel independent disks.
+	Disks int
+	// BlockSize is the file block size in bytes (informational).
+	BlockSize int
+	// DiskAccess is the fixed physical disk access time.
+	DiskAccess sim.Duration
+
+	// Pattern selects and parameterizes the file access pattern.
+	Pattern pattern.Config
+
+	// Layout is the block-placement strategy over the disks
+	// (round-robin interleaving in the paper).
+	Layout interleave.Strategy
+	// DiskSeekPerBlock, when positive, adds service time per physical
+	// block of head travel between consecutive requests on a disk, and
+	// DiskMaxSeek caps that component. Zero reproduces the paper's
+	// fixed access time.
+	DiskSeekPerBlock sim.Duration
+	DiskMaxSeek      sim.Duration
+	// DiskSched is the per-disk queue scheduling policy (FIFO in the
+	// paper; SSTF/SCAN matter only with a seek model).
+	DiskSched disk.SchedPolicy
+
+	// Sync is the synchronization style.
+	Sync barrier.Style
+	// SyncEveryPerProc is N for the every-N-blocks-per-process style.
+	SyncEveryPerProc int
+	// SyncEveryTotal is N for the every-N-blocks-total style.
+	SyncEveryTotal int
+
+	// ComputeMean is the mean of the exponentially distributed
+	// computation delay added after each block read; zero makes the
+	// program fully I/O bound.
+	ComputeMean sim.Duration
+
+	// Prefetch enables the prefetching file system.
+	Prefetch bool
+	// Predictor selects how prefetch candidates are chosen: the paper's
+	// oracle reference-string policies (predict.Oracle, the default) or
+	// one of the on-the-fly predictors that observe only the demand
+	// stream and can mispredict (predict.OBL, predict.SEQ,
+	// predict.GAPS).
+	Predictor predict.Kind
+	// PrefetchBuffersPerProc is the number of prefetch buffers added per
+	// processor node (3 in the paper).
+	PrefetchBuffersPerProc int
+	// PerNodePrefetchLimit, when true, enforces the prefetch-buffer
+	// budget strictly per node instead of as a shared global pool.
+	PerNodePrefetchLimit bool
+	// RUSetSize is the per-processor recently-used set size (1 in the
+	// paper, emulating toss-immediately).
+	RUSetSize int
+	// Lead is the minimum prefetch lead in reference-string positions
+	// (§V-E); zero reproduces the base strategy.
+	Lead int
+	// MinPrefetchTime, when positive, suppresses starting a prefetch
+	// action unless at least this much estimated idle time remains
+	// (§V-D).
+	MinPrefetchTime sim.Duration
+
+	// Memory is the NUMA overhead cost model.
+	Memory memory.Model
+
+	// Seed drives computation-delay randomness (and, via Pattern.Seed,
+	// random portion geometry).
+	Seed uint64
+
+	// Trace, if non-nil, receives an event for every file system action.
+	// It is excluded from JSON encodings of the Config.
+	Trace func(Event) `json:"-"`
+}
+
+// DefaultConfig returns the paper's base parameters (§IV-D) for the
+// given access pattern, with prefetching off and balanced computation.
+func DefaultConfig(kind pattern.Kind) Config {
+	return Config{
+		Procs:                  20,
+		Disks:                  20,
+		BlockSize:              1024,
+		DiskAccess:             30 * sim.Millisecond,
+		Pattern:                pattern.Defaults(kind),
+		Sync:                   barrier.None,
+		SyncEveryPerProc:       10,
+		SyncEveryTotal:         200,
+		ComputeMean:            BalancedComputeMean(kind),
+		Prefetch:               false,
+		PrefetchBuffersPerProc: 3,
+		RUSetSize:              1,
+		Memory:                 memory.Default(),
+		Seed:                   1,
+	}
+}
+
+// BalancedComputeMean returns the per-block computation mean the paper
+// used to balance I/O and computation: 30 ms, except 10 ms for the lw
+// pattern whose strong interprocess locality already reduces I/O time.
+func BalancedComputeMean(kind pattern.Kind) sim.Duration {
+	if kind == pattern.LW {
+		return 10 * sim.Millisecond
+	}
+	return 30 * sim.Millisecond
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("core: Procs must be positive, got %d", c.Procs)
+	}
+	if c.Disks <= 0 {
+		return fmt.Errorf("core: Disks must be positive, got %d", c.Disks)
+	}
+	if c.DiskAccess <= 0 {
+		return fmt.Errorf("core: DiskAccess must be positive, got %v", c.DiskAccess)
+	}
+	if c.RUSetSize <= 0 {
+		return fmt.Errorf("core: RUSetSize must be positive, got %d", c.RUSetSize)
+	}
+	if c.Prefetch && c.PrefetchBuffersPerProc <= 0 {
+		return fmt.Errorf("core: prefetching needs PrefetchBuffersPerProc > 0")
+	}
+	if c.Lead < 0 {
+		return fmt.Errorf("core: negative Lead %d", c.Lead)
+	}
+	if c.Lead > 0 && c.Predictor != predict.Oracle {
+		return fmt.Errorf("core: minimum prefetch lead requires the oracle policy, not %v", c.Predictor)
+	}
+	if c.MinPrefetchTime < 0 {
+		return fmt.Errorf("core: negative MinPrefetchTime %v", c.MinPrefetchTime)
+	}
+	if c.DiskSeekPerBlock < 0 || c.DiskMaxSeek < 0 {
+		return fmt.Errorf("core: negative disk seek parameters")
+	}
+	if c.Sync == barrier.EveryNPerProc && c.SyncEveryPerProc <= 0 {
+		return fmt.Errorf("core: EveryNPerProc style needs SyncEveryPerProc > 0")
+	}
+	if c.Sync == barrier.EveryNTotal && c.SyncEveryTotal <= 0 {
+		return fmt.Errorf("core: EveryNTotal style needs SyncEveryTotal > 0")
+	}
+	if c.Pattern.Procs != c.Procs {
+		return fmt.Errorf("core: Pattern.Procs (%d) != Procs (%d)", c.Pattern.Procs, c.Procs)
+	}
+	return nil
+}
+
+// CacheCapacity returns the total buffer frames for this configuration:
+// one per processor per RU-set slot, plus the prefetch buffers when
+// prefetching is on (20 + 60 in the paper's base configuration).
+func (c *Config) CacheCapacity() int {
+	cap := c.Procs * c.RUSetSize
+	if c.Prefetch {
+		cap += c.Procs * c.PrefetchBuffersPerProc
+	}
+	return cap
+}
+
+// Label returns a compact identifier for the run, used in tables and
+// figure legends.
+func (c *Config) Label() string {
+	pf := "nopf"
+	if c.Prefetch {
+		pf = "pf"
+	}
+	io := "balanced"
+	if c.ComputeMean == 0 {
+		io = "iobound"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", c.Pattern.Kind, c.Sync, io, pf)
+}
+
+// IdleKind classifies the idle periods during which the file system runs
+// prefetch actions (§III): waiting at a synchronization point, waiting
+// for self-initiated disk I/O, or waiting for I/O initiated elsewhere
+// (an unready buffer hit).
+type IdleKind int
+
+// The three exploited idle-time classes.
+const (
+	IdleSync IdleKind = iota
+	IdleOwnIO
+	IdleRemoteIO
+)
+
+// String names the idle kind.
+func (k IdleKind) String() string {
+	switch k {
+	case IdleSync:
+		return "sync"
+	case IdleOwnIO:
+		return "own-io"
+	case IdleRemoteIO:
+		return "remote-io"
+	}
+	return fmt.Sprintf("IdleKind(%d)", int(k))
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvReadStart EventKind = iota
+	EvReadyHit
+	EvUnreadyHit
+	EvDemandFetch
+	EvPrefetchIssue
+	EvPrefetchFail
+	EvReadDone
+	EvSyncArrive
+	EvSyncRelease
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvReadStart:
+		return "read-start"
+	case EvReadyHit:
+		return "ready-hit"
+	case EvUnreadyHit:
+		return "unready-hit"
+	case EvDemandFetch:
+		return "demand-fetch"
+	case EvPrefetchIssue:
+		return "prefetch"
+	case EvPrefetchFail:
+		return "prefetch-fail"
+	case EvReadDone:
+		return "read-done"
+	case EvSyncArrive:
+		return "sync-arrive"
+	case EvSyncRelease:
+		return "sync-release"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one trace record: the exact access pattern the paper records
+// for off-line analysis.
+type Event struct {
+	T     sim.Time
+	Node  int
+	Kind  EventKind
+	Block int // -1 when not applicable
+	Index int // reference-string index, -1 when not applicable
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/interleave"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/prefetch"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Engine is one configured instance of the RAPID Transit testbed. Build
+// it with New, execute with Run (once), and read the Result.
+type Engine struct {
+	cfg    Config
+	k      *sim.Kernel
+	pat    *pattern.Pattern
+	layout *interleave.Layout
+	disks  *disk.Array
+	bcache *cache.Cache
+	policy *prefetch.Policy  // oracle policy; nil unless prefetching with Oracle
+	pred   predict.Predictor // on-the-fly predictor; nil unless selected
+	bar    *barrier.Barrier
+	gens   *barrier.GenCounter
+	track  memory.Tracker
+	res    *Result
+
+	globalCursor int
+	localCursor  []int
+	maxFinish    sim.Time
+}
+
+// New validates the configuration, generates the access pattern, and
+// assembles the testbed.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pat, err := pattern.Generate(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated pattern invalid: %w", err)
+	}
+	k := sim.NewKernel()
+	profile := disk.Profile{
+		Access:       cfg.DiskAccess,
+		SeekPerBlock: cfg.DiskSeekPerBlock,
+		MaxSeek:      cfg.DiskMaxSeek,
+	}
+	e := &Engine{
+		cfg:         cfg,
+		k:           k,
+		pat:         pat,
+		layout:      interleave.NewWithStrategy(cfg.Layout, pat.FileBlocks, cfg.Disks, cfg.BlockSize),
+		disks:       disk.NewScheduledArray(k, cfg.Disks, profile, cfg.DiskSched),
+		localCursor: make([]int, cfg.Procs),
+		res: &Result{
+			Config:       cfg,
+			PerProc:      make([]ProcStats, cfg.Procs),
+			ReadTimeHist: metrics.NewHistogram(0, 2, 60),
+		},
+	}
+	maxPF := 0
+	perNode := 0
+	if cfg.Prefetch {
+		maxPF = cfg.Procs * cfg.PrefetchBuffersPerProc
+		if cfg.PerNodePrefetchLimit {
+			perNode = cfg.PrefetchBuffersPerProc
+		}
+		if cfg.Predictor == predict.Oracle {
+			e.policy = prefetch.NewPolicy(pat, cfg.Lead)
+		} else {
+			e.pred = predict.New(cfg.Predictor, cfg.Procs, pat.FileBlocks)
+		}
+	}
+	e.bcache = cache.New(k, cache.Options{
+		DemandFrames:         cfg.Procs * cfg.RUSetSize,
+		PrefetchFrames:       maxPF,
+		Nodes:                cfg.Procs,
+		MaxPrefetchedUnused:  maxPF,
+		MaxPerNodePrefetched: perNode,
+		// On-the-fly predictors mispredict; their mistakes must be
+		// evictable or they would permanently clog the prefetch pool.
+		EvictablePrefetched: e.pred != nil,
+	})
+	if cfg.Sync != barrier.None {
+		e.bar = barrier.New(k, cfg.Procs)
+	}
+	genEvery := 0
+	if cfg.Sync == barrier.EveryNTotal {
+		genEvery = cfg.SyncEveryTotal
+	}
+	e.gens = barrier.NewGenCounter(genEvery)
+	for node := 0; node < cfg.Procs; node++ {
+		e.res.PerProc[node].Node = node
+	}
+	return e, nil
+}
+
+// Run executes the experiment to completion and returns the collected
+// measurements. It must be called at most once per Engine.
+func (e *Engine) Run() *Result {
+	for node := 0; node < e.cfg.Procs; node++ {
+		node := node
+		e.k.Spawn(fmt.Sprintf("proc%d", node), 0, func(p *sim.Proc) {
+			e.procBody(p, node)
+		})
+	}
+	e.k.Run()
+	e.res.TotalTime = sim.Duration(e.maxFinish)
+	e.res.Cache = e.bcache.Stats()
+	e.res.DiskResponse = e.disks.ResponseStats()
+	e.res.DiskQueueDelay = e.disks.QueueDelayStats()
+	e.res.DiskUtilization = e.disks.MeanUtilization(e.maxFinish)
+	return e.res
+}
+
+// Run builds and executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(), nil
+}
+
+// MustRun is Run for configurations known to be valid.
+func MustRun(cfg Config) *Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// usesGenerations reports whether the sync style is driven by a global
+// generation counter rather than per-process arrival points.
+func (e *Engine) usesGenerations() bool {
+	switch e.cfg.Sync {
+	case barrier.EveryNTotal:
+		return true
+	case barrier.PerPortion:
+		return e.pat.Kind.Global()
+	}
+	return false
+}
+
+// procBody is the synthetic application run by each processor: claim the
+// next block of the access pattern, read it through the file system,
+// simulate computation, and synchronize per the configured style.
+func (e *Engine) procBody(p *sim.Proc, node int) {
+	computeRNG := rng.New(e.cfg.Seed, uint64(node)+1000)
+	ru := newRUSet(e.cfg.RUSetSize)
+	passedGens := 0
+	myReads := 0
+	for {
+		if e.usesGenerations() {
+			for passedGens < e.gens.Raised() {
+				passedGens++
+				e.syncArrive(p, node)
+			}
+		}
+		idx, block, ok := e.nextRead(node)
+		if !ok {
+			break
+		}
+		e.readBlock(p, node, ru, idx, block)
+		myReads++
+		e.gens.ReadDone()
+		portionEnded := e.portionEnded(node, idx)
+		if e.cfg.Sync == barrier.PerPortion && e.pat.Kind.Global() && portionEnded {
+			e.gens.Raise()
+		}
+		if d := e.cfg.ComputeMean; d > 0 {
+			p.Advance(sim.Millis(computeRNG.Exp(d.Millis())))
+		}
+		switch {
+		case e.cfg.Sync == barrier.EveryNPerProc && myReads%e.cfg.SyncEveryPerProc == 0:
+			e.syncArrive(p, node)
+		case e.cfg.Sync == barrier.PerPortion && e.pat.Kind.Local() && portionEnded:
+			e.syncArrive(p, node)
+		}
+	}
+	ru.drain(e.bcache)
+	if e.usesGenerations() {
+		for passedGens < e.gens.Raised() {
+			passedGens++
+			e.syncArrive(p, node)
+		}
+	}
+	if e.bar != nil {
+		e.bar.Withdraw()
+	}
+	e.res.PerProc[node].Reads = myReads
+	e.res.PerProc[node].Finish = p.Now()
+	if p.Now() > e.maxFinish {
+		e.maxFinish = p.Now()
+	}
+}
+
+// nextRead claims the next access: the process's own next string entry
+// for local patterns, or the next unclaimed entry of the shared string
+// for global patterns (self-scheduling).
+func (e *Engine) nextRead(node int) (idx, block int, ok bool) {
+	if e.pat.Kind.Global() {
+		if e.globalCursor >= len(e.pat.Global) {
+			return 0, 0, false
+		}
+		idx = e.globalCursor
+		e.globalCursor++
+		return idx, e.pat.Global[idx], true
+	}
+	c := e.localCursor[node]
+	if c >= len(e.pat.Local[node]) {
+		return 0, 0, false
+	}
+	e.localCursor[node] = c + 1
+	return c, e.pat.Local[node][c], true
+}
+
+// portionEnded reports whether reference-string index idx is the last
+// access of its portion.
+func (e *Engine) portionEnded(node, idx int) bool {
+	portions := e.pat.GlobalPortions
+	if e.pat.Kind.Local() {
+		portions = e.pat.LocalPortions[node]
+	}
+	por := portions[pattern.PortionOf(portions, idx)]
+	return idx == por.End()-1
+}
+
+// readBlock performs one file system read: cache lookup, demand fetch on
+// a miss, and waiting (with idle-time prefetching) when the data are not
+// yet present.
+func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
+	start := p.Now()
+	e.trace(Event{T: start, Node: node, Kind: EvReadStart, Block: block, Index: idx})
+	// Toss-immediately: make room in the RU set before acquiring, so a
+	// processor never pins more than RUSetSize buffers.
+	ru.makeRoom(e.bcache)
+	if e.policy != nil {
+		e.policy.NoteDemand(node, idx)
+	}
+	if e.pred != nil {
+		e.pred.ObserveDemand(node, block)
+	}
+	var buf *cache.Buffer
+	for {
+		if buf = e.bcache.Lookup(block); buf != nil {
+			ready := e.bcache.Pin(node, buf)
+			e.fsWork(p, e.cfg.Memory.Hit)
+			if buf.Home() != node {
+				// NUMA: the buffer lives on the fetching node's memory.
+				e.fsWork(p, e.cfg.Memory.RemoteBuffer)
+			}
+			if ready {
+				e.trace(Event{T: p.Now(), Node: node, Kind: EvReadyHit, Block: block, Index: idx})
+				e.res.HitWaitAll.Add(0)
+			} else {
+				e.trace(Event{T: p.Now(), Node: node, Kind: EvUnreadyHit, Block: block, Index: idx})
+				wait := e.waitEvent(p, node, buf.IODone, buf.FetchDone(), IdleRemoteIO)
+				e.res.HitWaitAll.Add(wait.Millis())
+				e.res.HitWaitUnready.Add(wait.Millis())
+			}
+			break
+		}
+		// Miss: pay the demand-fetch setup cost, then claim a frame and
+		// start the transfer. The block may appear while the setup cost
+		// elapses (another process fetched it) — then it is a hit.
+		e.fsWork(p, e.cfg.Memory.Miss)
+		if e.bcache.Lookup(block) != nil {
+			continue
+		}
+		nbuf := e.bcache.AllocateDemand(node, block)
+		if nbuf == nil {
+			e.bcache.Freed.Sleep(p)
+			continue
+		}
+		dsk, phys := e.layout.Locate(block)
+		req := e.disks.Submit(dsk, block, phys, false)
+		e.bcache.BeginFetch(nbuf, req.Complete, req.EstDone)
+		e.trace(Event{T: p.Now(), Node: node, Kind: EvDemandFetch, Block: block, Index: idx})
+		e.waitEvent(p, node, nbuf.IODone, req.EstDone, IdleOwnIO)
+		buf = nbuf
+		break
+	}
+	ru.add(buf)
+	rt := p.Now().Sub(start)
+	e.res.ReadTime.Add(rt.Millis())
+	e.res.ReadTimeHist.Add(rt.Millis())
+	e.res.PerProc[node].ReadTime.Add(rt.Millis())
+	e.trace(Event{T: p.Now(), Node: node, Kind: EvReadDone, Block: block, Index: idx})
+}
+
+// syncArrive takes the process through one barrier generation,
+// prefetching while it waits.
+func (e *Engine) syncArrive(p *sim.Proc, node int) {
+	arrival := p.Now()
+	e.trace(Event{T: arrival, Node: node, Kind: EvSyncArrive, Block: -1, Index: -1})
+	ev, last := e.bar.Arrive()
+	if !last {
+		e.waitEvent(p, node, ev, sim.MaxTime, IdleSync)
+	}
+	wait := ev.FiredAt().Sub(arrival)
+	e.res.SyncTime.Add(wait.Millis())
+	e.res.PerProc[node].SyncWait.Add(wait.Millis())
+	e.trace(Event{T: p.Now(), Node: node, Kind: EvSyncRelease, Block: -1, Index: -1})
+}
+
+// waitEvent is the heart of idle-time prefetching (§III): while the
+// process is logically idle waiting for ev, the local file system
+// component repeatedly performs prefetch actions, releasing control only
+// at the completion of an action. An action that runs past the firing
+// of ev delays the process's resumption — the prefetch overrun.
+// deadline is the file system's estimate of when the idle period ends
+// (known exactly for disk waits, unknown — MaxTime — for sync waits);
+// it gates the MinPrefetchTime heuristic. The return value is the
+// logical wait: from call to event firing.
+func (e *Engine) waitEvent(p *sim.Proc, node int, ev *sim.Event, deadline sim.Time, kind IdleKind) sim.Duration {
+	start := p.Now()
+	if ev.Fired() {
+		return 0
+	}
+	if e.policy == nil && e.pred == nil {
+		ev.Wait(p)
+		logical := p.Now().Sub(start)
+		e.res.IdleTime[kind].Add(logical.Millis())
+		return logical
+	}
+	ranAction := false
+	for !ev.Fired() {
+		if !e.tryPrefetch(p, node, deadline) {
+			if !ev.Fired() {
+				ev.Wait(p)
+			}
+			break
+		}
+		ranAction = true
+	}
+	logical := ev.FiredAt().Sub(start)
+	e.res.IdleTime[kind].Add(logical.Millis())
+	if ranAction {
+		over := p.Now().Sub(ev.FiredAt())
+		if over < 0 {
+			over = 0
+		}
+		e.res.Overrun.Add(over.Millis())
+	}
+	return logical
+}
+
+// tryPrefetch performs one prefetch action: select a block, claim a
+// frame, start the I/O (without waiting for it), charging the NUMA cost
+// model for the work. It returns false when there is nothing to do —
+// no candidate block, or the MinPrefetchTime heuristic suppresses the
+// action — and true when an action (successful or failed) consumed time.
+func (e *Engine) tryPrefetch(p *sim.Proc, node int, deadline sim.Time) bool {
+	if e.cfg.MinPrefetchTime > 0 && deadline != sim.MaxTime {
+		if deadline.Sub(p.Now()) < e.cfg.MinPrefetchTime {
+			return false
+		}
+	}
+	// The prefetched-unused limits are O(1) shared counters, so the file
+	// system declines cheaply when they are exhausted ("considers
+	// prefetching" without starting an action). Frame scarcity, by
+	// contrast, is only discovered by hunting through the buffer lists —
+	// an expensive unsuccessful action, the mechanism behind the paper's
+	// lfp slowdowns.
+	switch e.bcache.CanPrefetch(node) {
+	case cache.FailGlobalLimit, cache.FailNodeLimit:
+		return false
+	}
+	var block, idx int
+	var ok bool
+	if e.policy != nil {
+		block, idx, ok = e.policy.Select(node, e.bcache.Contains)
+	} else {
+		block, ok = e.pred.Predict(node, e.bcache.Contains)
+		idx = -1
+	}
+	if !ok {
+		return false
+	}
+	start := p.Now()
+	e.res.PerProc[node].PrefetchAttempts++
+	buf, res := e.bcache.AllocatePrefetch(node, block)
+	if res == cache.PrefetchOK {
+		dsk, phys := e.layout.Locate(block)
+		req := e.disks.Submit(dsk, block, phys, true)
+		e.bcache.BeginFetch(buf, req.Complete, req.EstDone)
+		e.trace(Event{T: p.Now(), Node: node, Kind: EvPrefetchIssue, Block: block, Index: idx})
+		e.res.PerProc[node].PrefetchesIssued++
+		e.fsWork(p, e.cfg.Memory.PrefetchAction)
+	} else {
+		e.trace(Event{T: p.Now(), Node: node, Kind: EvPrefetchFail, Block: block, Index: idx})
+		e.fsWork(p, e.cfg.Memory.PrefetchFail)
+	}
+	e.res.PrefetchActionTime.Add(p.Now().Sub(start).Millis())
+	return true
+}
+
+// fsWork charges the processor for one file system operation under the
+// NUMA cost model. Contention is the number of *other* processors
+// currently executing file system code (not those merely blocked
+// waiting for I/O — a blocked processor does not touch the shared data
+// structures). Every operation consumes at least one microsecond even
+// under a zero-cost model, which guarantees the idle-time prefetch loop
+// always advances virtual time (a failed attempt retried at zero cost
+// would otherwise spin forever).
+func (e *Engine) fsWork(p *sim.Proc, c memory.Cost) {
+	others := e.track.Enter()
+	d := c.At(others)
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	p.Advance(d)
+	e.track.Exit()
+}
+
+func (e *Engine) trace(ev Event) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(ev)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/barrier"
+	"repro/internal/disk"
+	"repro/internal/interleave"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+// TestConfigSpaceFuzz drives the engine across randomized configurations
+// and checks the accounting invariants that must hold for every run:
+// all reads complete, access outcomes partition the reads, fetch counts
+// are consistent, and the run is deterministic.
+func TestConfigSpaceFuzz(t *testing.T) {
+	check := fuzzCheck(t)
+	// A fixed generator keeps the explored configuration set (and thus
+	// the test's runtime) reproducible; the space is still broad.
+	cfgQ := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	if testing.Short() {
+		cfgQ.MaxCount = 10
+	}
+	if err := quick.Check(check, cfgQ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzCheck builds the invariant checker shared by the fuzz and soak
+// tests.
+func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
+	return func(seed uint64, raw [10]uint8) bool {
+		kind := pattern.Kinds[int(raw[0])%len(pattern.Kinds)]
+		style := barrier.Styles[int(raw[1])%len(barrier.Styles)]
+		if kind == pattern.LW && style == barrier.PerPortion {
+			style = barrier.None
+		}
+		procs := 2 + int(raw[2])%5 // 2..6
+		cfg := DefaultConfig(kind)
+		cfg.Procs = procs
+		cfg.Disks = 1 + int(raw[3])%8
+		cfg.Pattern.Procs = procs
+		cfg.Pattern.BlocksPerProc = 10 + int(raw[4])%40
+		cfg.Pattern.TotalBlocks = 40 + int(raw[4])%160
+		cfg.Pattern.Seed = seed
+		cfg.Seed = seed
+		cfg.Sync = style
+		cfg.SyncEveryPerProc = 1 + int(raw[5])%10
+		cfg.SyncEveryTotal = procs * (1 + int(raw[5])%10)
+		cfg.ComputeMean = sim.Duration(raw[6]%40) * sim.Millisecond
+		cfg.Prefetch = raw[7]%4 != 0 // mostly on
+		cfg.RUSetSize = 1 + int(raw[7])%3
+		cfg.PrefetchBuffersPerProc = 1 + int(raw[8])%4
+		cfg.PerNodePrefetchLimit = raw[8]%2 == 1
+		cfg.Layout = interleave.Strategies[int(raw[9])%len(interleave.Strategies)]
+		cfg.DiskSched = disk.SchedPolicies[int(raw[9]/4)%len(disk.SchedPolicies)]
+		if raw[9]%2 == 1 {
+			cfg.DiskSeekPerBlock = 50 * sim.Microsecond
+			cfg.DiskMaxSeek = 10 * sim.Millisecond
+		}
+		if cfg.Prefetch {
+			switch raw[6] % 4 {
+			case 1:
+				cfg.Predictor = predict.OBL
+			case 2:
+				cfg.Predictor = predict.SEQ
+			case 3:
+				cfg.Predictor = predict.GAPS
+			}
+		}
+
+		r, err := Run(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		wantReads := cfg.Pattern.TotalBlocks
+		if kind.Local() {
+			wantReads = procs * cfg.Pattern.BlocksPerProc
+		}
+		if got := int(r.Cache.Accesses()); got != wantReads {
+			t.Logf("%s: accesses %d != reads %d", cfg.Label(), got, wantReads)
+			return false
+		}
+		if int(r.ReadTime.N()) != wantReads {
+			t.Logf("%s: read samples %d", cfg.Label(), r.ReadTime.N())
+			return false
+		}
+		perProc := 0
+		for _, ps := range r.PerProc {
+			perProc += ps.Reads
+		}
+		if perProc != wantReads {
+			t.Logf("%s: per-proc sum %d", cfg.Label(), perProc)
+			return false
+		}
+		if r.Cache.ReadyHits+r.Cache.UnreadyHits+r.Cache.Misses != int64(wantReads) {
+			t.Logf("%s: outcome partition broken", cfg.Label())
+			return false
+		}
+		if r.Cache.PrefetchesConsumed > r.Cache.PrefetchesIssued {
+			t.Logf("%s: consumed > issued", cfg.Label())
+			return false
+		}
+		if !cfg.Prefetch && r.Cache.PrefetchesIssued != 0 {
+			t.Logf("%s: prefetches without prefetching", cfg.Label())
+			return false
+		}
+		if r.TotalTime <= 0 || r.ReadTime.Min() < 0 {
+			t.Logf("%s: degenerate timings", cfg.Label())
+			return false
+		}
+		// Determinism: an identical configuration replays identically.
+		r2 := MustRun(cfg)
+		if r2.TotalTime != r.TotalTime || r2.Cache != r.Cache {
+			t.Logf("%s: nondeterministic", cfg.Label())
+			return false
+		}
+		return true
+	}
+}
+
+// TestFuzzSeeds replays a few fixed corner configurations that once
+// regressed or are structurally extreme.
+func TestFuzzSeeds(t *testing.T) {
+	cases := []func(*Config){
+		// One disk for everything: maximal disk contention.
+		func(c *Config) { c.Disks = 1 },
+		// One prefetch buffer per process under the per-node policy.
+		func(c *Config) { c.PrefetchBuffersPerProc = 1; c.PerNodePrefetchLimit = true },
+		// Segmented layout with seeks and SCAN scheduling.
+		func(c *Config) {
+			c.Layout = interleave.Segmented
+			c.DiskSeekPerBlock = 100 * sim.Microsecond
+			c.DiskSched = disk.SCAN
+		},
+		// Large RU sets shrink the effective demand pool churn.
+		func(c *Config) { c.RUSetSize = 4 },
+		// Sync after every single block.
+		func(c *Config) { c.Sync = barrier.EveryNPerProc; c.SyncEveryPerProc = 1 },
+		// The SSTF-starvation livelock found by the fuzzer: a reordering
+		// disk under seeks, one contended disk, and a mispredicting
+		// prefetcher that keeps feeding near-head requests. Must finish
+		// (aged SSTF) rather than starve the awaited demand fetch.
+		func(c *Config) {
+			c.Disks = 1
+			c.DiskSched = disk.SSTF
+			c.DiskSeekPerBlock = 50 * sim.Microsecond
+			c.DiskMaxSeek = 10 * sim.Millisecond
+			c.Predictor = predict.GAPS
+		},
+	}
+	for i, mutate := range cases {
+		for _, kind := range []pattern.Kind{pattern.LW, pattern.GW, pattern.LRP} {
+			cfg := DefaultConfig(kind)
+			cfg.Procs = 4
+			cfg.Disks = 4
+			cfg.Pattern.Procs = 4
+			cfg.Pattern.BlocksPerProc = 30
+			cfg.Pattern.TotalBlocks = 120
+			cfg.Prefetch = true
+			mutate(&cfg)
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("case %d/%v: %v", i, kind, err)
+			}
+			if r.Cache.Accesses() == 0 {
+				t.Fatalf("case %d/%v: no accesses", i, kind)
+			}
+		}
+	}
+}
+
+// TestConfigSpaceSoak widens the fuzz across many generator seeds. It
+// is opt-in (RAPID_SOAK=1) because it runs several hundred full
+// simulations.
+func TestConfigSpaceSoak(t *testing.T) {
+	if os.Getenv("RAPID_SOAK") == "" {
+		t.Skip("set RAPID_SOAK=1 to run the fuzz soak")
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		cfgQ := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(seed))}
+		if err := quick.Check(fuzzCheck(t), cfgQ); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

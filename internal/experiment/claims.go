@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+)
+
+// Claim is one quantitative statement from the paper's §V text, checked
+// against a fresh, deterministic run of the harness.
+type Claim struct {
+	ID       string // short identifier
+	Paper    string // the paper's statement
+	Measured string // what this reproduction measured
+	Pass     bool
+}
+
+// Verification is the result of checking every claim.
+type Verification struct {
+	Claims []Claim
+}
+
+// Passed counts passing claims.
+func (v *Verification) Passed() int {
+	n := 0
+	for _, c := range v.Claims {
+		if c.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed returns the failing claims.
+func (v *Verification) Failed() []Claim {
+	var out []Claim
+	for _, c := range v.Claims {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Report renders the verification as a text table.
+func (v *Verification) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reproduction check: %d of %d claims hold\n\n", v.Passed(), len(v.Claims))
+	tb := &metrics.Table{Header: []string{"", "claim", "paper", "measured"}}
+	for _, c := range v.Claims {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		tb.AddRow(mark, c.ID, c.Paper, c.Measured)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// Verify runs the paper's experiments at the given scale and checks
+// every §V claim. All runs are deterministic, so the outcome is stable
+// for a given Options value. The thresholds encode the paper's numbers
+// with modest tolerance for the simulated substrate; they are intended
+// for PaperScale.
+func Verify(opts Options) *Verification {
+	v := &Verification{}
+	add := func(id, paper, measured string, pass bool) {
+		v.Claims = append(v.Claims, Claim{ID: id, Paper: paper, Measured: measured, Pass: pass})
+	}
+
+	suite := RunSuite(opts)
+	sum := suite.Summarize()
+
+	// Fig. 3 and §V-A.
+	add("read-always-improves",
+		"prefetching reduced the average read time in every experiment",
+		fmt.Sprintf("min improvement %+.1f%%", sum.ReadReduction.Min()),
+		sum.ReadReduction.Min() > 0)
+	add("read-median",
+		"median read-time improvement 48%",
+		fmt.Sprintf("median %+.0f%%", sum.ReadReduction.Median()),
+		sum.ReadReduction.Median() >= 30 && sum.ReadReduction.Median() <= 75)
+	add("read-over-35",
+		"improvement exceeded 35% for 60% of experiments",
+		fmt.Sprintf("%.0f%% of runs", 100*(1-sum.ReadReduction.FractionAtMost(35))),
+		1-sum.ReadReduction.FractionAtMost(35) >= 0.5)
+
+	// Fig. 4.
+	add("hit-floor",
+		"hit ratio with prefetching over 0.69 in all cases",
+		fmt.Sprintf("min %.2f", sum.HitRatioPrefetch.Min()),
+		sum.HitRatioPrefetch.Min() > 0.69)
+	add("hit-half-086",
+		"hit ratio over 0.86 in more than half the cases",
+		fmt.Sprintf("median %.2f", sum.HitRatioPrefetch.Median()),
+		sum.HitRatioPrefetch.Median() > 0.86)
+	add("nop-hit-zero",
+		"without prefetching most hit ratios are nearly zero",
+		fmt.Sprintf("median %.3f", sum.HitRatioNoPrefetch.Median()),
+		sum.HitRatioNoPrefetch.Median() < 0.05)
+
+	// Fig. 8 and §V-B.
+	add("exec-median",
+		"total-time improvement usually exceeded 15%",
+		fmt.Sprintf("median %+.0f%%", sum.ExecReduction.Median()),
+		sum.ExecReduction.Median() > 15)
+	add("exec-max",
+		"total-time improvement reached ~69%",
+		fmt.Sprintf("max %+.0f%%", sum.ExecReduction.Max()),
+		sum.ExecReduction.Max() >= 50)
+	add("negative-result",
+		"prefetching sometimes increased execution time (a few runs)",
+		fmt.Sprintf("%d slowdowns of %d", sum.Slowdowns, sum.Experiments),
+		sum.Slowdowns >= 1 && sum.Slowdowns <= sum.Experiments/5)
+
+	// Fig. 9.
+	add("sync-increases",
+		"prefetching usually increases average synchronization time",
+		fmt.Sprintf("%d of %d pairs", sum.SyncTimeIncreased, sum.SyncPairs),
+		sum.SyncPairs > 0 && 2*sum.SyncTimeIncreased >= sum.SyncPairs)
+
+	// Fig. 7.
+	worsened := 0
+	for _, p := range suite.Pairs {
+		if p.Prefetch.DiskResponse.Mean() > p.NoPrefetch.DiskResponse.Mean() {
+			worsened++
+		}
+	}
+	add("disk-worsens",
+		"prefetching increases disk contention (response time)",
+		fmt.Sprintf("%d of %d pairs worsened", worsened, len(suite.Pairs)),
+		float64(worsened) >= 0.8*float64(len(suite.Pairs)))
+
+	// §V-D overheads.
+	add("action-range",
+		"prefetch actions average 3-31 ms",
+		fmt.Sprintf("%.1f-%.1f ms", sum.ActionTime.Min(), sum.ActionTime.Max()),
+		sum.ActionTime.Min() >= 3 && sum.ActionTime.Max() <= 31)
+	add("overrun-range",
+		"overrun averages 1-25 ms",
+		fmt.Sprintf("%.1f-%.1f ms", sum.Overrun.Min(), sum.Overrun.Max()),
+		sum.Overrun.Min() >= 0.5 && sum.Overrun.Max() <= 25)
+
+	// §V-F pattern differences.
+	groups := suite.ByPattern()
+	best := pattern.LFP
+	for _, kind := range pattern.Kinds {
+		if groups[kind].Exec.Median() > groups[best].Exec.Median() {
+			best = kind
+		}
+	}
+	add("lw-best",
+		"the best data points belong to the lw pattern",
+		fmt.Sprintf("best pattern: %v (+%.0f%%)", best, groups[best].Exec.Median()),
+		best == pattern.LW)
+
+	// Fig. 12 (§V-C).
+	sweep := ComputeSweep(opts, []int{0, 10, 20, 30, 40, 50, 60})
+	pf := sweep.TotalTime.FindSeries("prefetch").Points
+	np := sweep.TotalTime.FindSeries("no prefetch").Points
+	imp := func(i int) float64 { return metrics.PercentReduction(np[i].Y, pf[i].Y) }
+	add("balance-hump",
+		"improvement grows with computation, then tails off",
+		fmt.Sprintf("%.0f%% -> %.0f%% -> %.0f%% over the sweep", imp(0), imp(3), imp(len(pf)-1)),
+		imp(3) > imp(0) && imp(3) > imp(len(pf)-1))
+	readPF := sweep.ReadTime.FindSeries("prefetch").Points
+	readNP := sweep.ReadTime.FindSeries("no prefetch").Points
+	lastFrac := readPF[len(readPF)-1].Y / readNP[len(readNP)-1].Y
+	add("read-floor",
+		"read time falls to ~20% of its no-prefetch value",
+		fmt.Sprintf("%.0f%% of no-prefetch at the compute-heavy end", 100*lastFrac),
+		lastFrac <= 0.30)
+	act := sweep.ActionTime.Series[0].Points
+	add("action-contention",
+		"prefetch action time falls as computation grows (22 ms to 5 ms)",
+		fmt.Sprintf("%.1f ms -> %.1f ms", act[0].Y, act[len(act)-1].Y),
+		act[len(act)-1].Y < act[0].Y)
+
+	// Figs. 13-16 (§V-E).
+	leads := LeadSweep(opts, []int{0, 30, 60, 90})
+	gwMiss := leads.MissRatio.FindSeries("gw").Points
+	add("lead-miss-climbs",
+		"the miss ratio climbs drastically with the minimum prefetch lead (global patterns)",
+		fmt.Sprintf("gw: %.2f -> %.2f", gwMiss[0].Y, gwMiss[len(gwMiss)-1].Y),
+		gwMiss[len(gwMiss)-1].Y > gwMiss[0].Y+0.2)
+	lwHW := leads.HitWait.FindSeries("lw").Points
+	add("lead-lw-hitwait",
+		"lw's hit-wait time actually increases with the lead",
+		fmt.Sprintf("%.1f ms -> %.1f ms", lwHW[0].Y, lwHW[len(lwHW)-1].Y),
+		lwHW[len(lwHW)-1].Y > lwHW[0].Y)
+	gwTotal := leads.TotalTime.FindSeries("gw").Points
+	add("lead-no-win",
+		"no satisfying improvements are obtained with prefetch leads (gw slows)",
+		fmt.Sprintf("gw total %.0f -> %.0f ms", gwTotal[0].Y, gwTotal[len(gwTotal)-1].Y),
+		gwTotal[len(gwTotal)-1].Y > gwTotal[0].Y)
+
+	// §V-D minimum prefetch time.
+	mpt := MinPrefetchTimeSweep(opts, []int{0, 25})
+	ov := mpt.Overrun.Series[0].Points
+	tt := mpt.TotalTime.Series[0].Points
+	rel := (tt[1].Y - tt[0].Y) / tt[0].Y
+	if rel < 0 {
+		rel = -rel
+	}
+	add("mpt-unproductive",
+		"minimum prefetch time lowers overrun but barely changes total time",
+		fmt.Sprintf("overrun %.1f -> %.1f ms, total within %.1f%%", ov[0].Y, ov[1].Y, 100*rel),
+		ov[1].Y <= ov[0].Y && rel < 0.05)
+
+	// §V-F buffer count.
+	buf := BufferCountSweep(opts, []int{1, 3, 5})
+	gwBuf := buf.FindSeries("gw").Points
+	add("one-buffer-worse",
+		"one prefetch buffer per process gives smaller improvements",
+		fmt.Sprintf("gw: %+.1f%% with 1, %+.1f%% with 3", gwBuf[0].Y, gwBuf[1].Y),
+		gwBuf[1].Y > gwBuf[0].Y+5)
+	delta35 := gwBuf[2].Y - gwBuf[1].Y
+	if delta35 < 0 {
+		delta35 = -delta35
+	}
+	add("buffers-plateau",
+		"2-5 buffers per process differ only minorly",
+		fmt.Sprintf("gw: 3 vs 5 buffers within %.1f points", delta35),
+		delta35 < 5)
+
+	return v
+}

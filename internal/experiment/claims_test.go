@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyMechanics checks the verifier machinery at test scale (some
+// paper-scale thresholds may legitimately fail at a tenth of the size).
+func TestVerifyMechanics(t *testing.T) {
+	v := Verify(TestScale())
+	if len(v.Claims) != 23 {
+		t.Fatalf("claims = %d, want 23", len(v.Claims))
+	}
+	for _, c := range v.Claims {
+		if c.ID == "" || c.Paper == "" || c.Measured == "" {
+			t.Fatalf("claim %+v incomplete", c)
+		}
+	}
+	if v.Passed()+len(v.Failed()) != len(v.Claims) {
+		t.Fatal("pass/fail partition broken")
+	}
+	report := v.Report()
+	if !strings.Contains(report, "reproduction check") {
+		t.Fatalf("report malformed:\n%.200s", report)
+	}
+	// Even at a tenth of the paper's size, the bulk of the claims hold.
+	if v.Passed() < len(v.Claims)*2/3 {
+		t.Fatalf("only %d of %d claims hold at test scale:\n%s",
+			v.Passed(), len(v.Claims), v.Report())
+	}
+}
+
+// TestVerifyPaperScale is the full reproduction gate: every claim of the
+// paper's §V text must hold at the paper's scale. Deterministic, ~5 s.
+func TestVerifyPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale verification skipped in -short mode")
+	}
+	v := Verify(PaperScale())
+	for _, c := range v.Failed() {
+		t.Errorf("FAIL %s: paper says %q, measured %s", c.ID, c.Paper, c.Measured)
+	}
+}

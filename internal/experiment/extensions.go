@@ -1,0 +1,285 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/interleave"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// ScalabilityResult carries the §VI scalability study: the machine
+// grows (processors and disks together, with work per process held
+// constant) and the question is whether prefetching's benefit survives
+// the extra contention for shared file system state.
+type ScalabilityResult struct {
+	// TotalTime has series "prefetch" and "no prefetch": total
+	// execution time vs machine size.
+	TotalTime *metrics.Figure
+	// Improvement is the percentage exec-time reduction vs machine
+	// size.
+	Improvement *metrics.Figure
+	// ActionTime is the mean prefetch action time vs machine size (the
+	// contention signal).
+	ActionTime *metrics.Figure
+}
+
+// ScalabilitySweep runs the gw pattern with balanced computation at
+// each machine size, keeping 100 blocks of work per processor as in
+// the paper's base configuration.
+func ScalabilitySweep(opts Options, sizes []int) *ScalabilityResult {
+	r := &ScalabilityResult{
+		TotalTime: &metrics.Figure{
+			Title:  "§VI — Total execution time vs machine size (gw, 100 blocks/proc)",
+			XLabel: "processors (= disks)",
+			YLabel: "total execution time (ms)",
+		},
+		Improvement: &metrics.Figure{
+			Title:  "§VI — Prefetching benefit vs machine size",
+			XLabel: "processors (= disks)",
+			YLabel: "% reduction in total execution time",
+		},
+		ActionTime: &metrics.Figure{
+			Title:  "§VI — Prefetch action time vs machine size",
+			XLabel: "processors (= disks)",
+			YLabel: "average prefetch action time (ms)",
+		},
+	}
+	pf := r.TotalTime.AddSeries("prefetch", 'P')
+	np := r.TotalTime.AddSeries("no prefetch", 'N')
+	imp := r.Improvement.AddSeries("gw", 'o')
+	act := r.ActionTime.AddSeries("gw", 'o')
+	for _, n := range sizes {
+		scaled := opts
+		scaled.Procs = n
+		scaled.TotalBlocks = 100 * n
+		base := core.MustRun(scaled.Config(pattern.GW, barrier.EveryNPerProc, false, false))
+		run := core.MustRun(scaled.Config(pattern.GW, barrier.EveryNPerProc, false, true))
+		x := float64(n)
+		np.Add(x, base.TotalTimeMillis())
+		pf.Add(x, run.TotalTimeMillis())
+		imp.Add(x, metrics.PercentReduction(base.TotalTimeMillis(), run.TotalTimeMillis()))
+		act.Add(x, run.PrefetchActionTime.Mean())
+	}
+	return r
+}
+
+// LayoutRow is one (strategy, prefetch) measurement of the layout
+// study.
+type LayoutRow struct {
+	Strategy     interleave.Strategy
+	Prefetch     bool
+	TotalMillis  float64
+	ReadMillis   float64
+	DiskResponse float64
+}
+
+// LayoutStudy compares file layout strategies (§VI "variations on file
+// system organization") under the gw pattern with a seek-charging disk
+// model, where placement genuinely matters. Round-robin interleaving
+// should win: a cooperative sequential scan keeps every disk busy and
+// each disk's head moving monotonically; a segmented layout serializes
+// the scan on one disk region at a time; hashing keeps the disks busy
+// but randomizes head movement.
+type LayoutStudy struct {
+	Rows []LayoutRow
+}
+
+// RunLayoutStudy measures each layout with and without prefetching.
+// The disk model charges 0.1 ms per block of head travel, capped at
+// 20 ms (a full stroke), atop the paper's 30 ms access.
+func RunLayoutStudy(opts Options) *LayoutStudy {
+	study := &LayoutStudy{}
+	for _, strat := range interleave.Strategies {
+		for _, prefetch := range []bool{false, true} {
+			cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, false, prefetch)
+			cfg.Layout = strat
+			cfg.DiskSeekPerBlock = 100 * sim.Microsecond
+			cfg.DiskMaxSeek = 20 * sim.Millisecond
+			r := core.MustRun(cfg)
+			study.Rows = append(study.Rows, LayoutRow{
+				Strategy:     strat,
+				Prefetch:     prefetch,
+				TotalMillis:  r.TotalTimeMillis(),
+				ReadMillis:   r.ReadTime.Mean(),
+				DiskResponse: r.DiskResponse.Mean(),
+			})
+		}
+	}
+	return study
+}
+
+// Row returns the measurement for (strategy, prefetch), or nil.
+func (s *LayoutStudy) Row(strat interleave.Strategy, prefetch bool) *LayoutRow {
+	for i := range s.Rows {
+		if s.Rows[i].Strategy == strat && s.Rows[i].Prefetch == prefetch {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the study.
+func (s *LayoutStudy) Table() string {
+	tb := &metrics.Table{Header: []string{"layout", "prefetch", "total (ms)", "read (ms)", "disk resp (ms)"}}
+	for _, r := range s.Rows {
+		pf := "no"
+		if r.Prefetch {
+			pf = "yes"
+		}
+		tb.AddRow(r.Strategy.String(), pf,
+			fmtFloat(r.TotalMillis, 0), fmtFloat(r.ReadMillis, 2), fmtFloat(r.DiskResponse, 1))
+	}
+	return tb.String()
+}
+
+func fmtFloat(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// SchedRow is one disk-scheduling measurement.
+type SchedRow struct {
+	Policy       disk.SchedPolicy
+	TotalMillis  float64
+	ReadMillis   float64
+	DiskResponse float64
+}
+
+// SchedStudy compares disk queue scheduling policies under a workload
+// where they can matter: prefetching keeps the per-disk queues deep,
+// the hashed layout randomizes head movement, and the seek model makes
+// head travel expensive. FIFO pays full random seeks; SSTF and SCAN
+// re-order the queue to shorten them.
+type SchedStudy struct {
+	Rows []SchedRow
+}
+
+// RunSchedStudy measures each policy on the gw pattern with hashed
+// placement and a 0.1 ms/block (20 ms cap) seek model.
+func RunSchedStudy(opts Options) *SchedStudy {
+	study := &SchedStudy{}
+	for _, policy := range disk.SchedPolicies {
+		cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, false, true)
+		cfg.Layout = interleave.Hashed
+		cfg.DiskSeekPerBlock = 100 * sim.Microsecond
+		cfg.DiskMaxSeek = 20 * sim.Millisecond
+		cfg.DiskSched = policy
+		r := core.MustRun(cfg)
+		study.Rows = append(study.Rows, SchedRow{
+			Policy:       policy,
+			TotalMillis:  r.TotalTimeMillis(),
+			ReadMillis:   r.ReadTime.Mean(),
+			DiskResponse: r.DiskResponse.Mean(),
+		})
+	}
+	return study
+}
+
+// Row returns the measurement for a policy, or nil.
+func (s *SchedStudy) Row(policy disk.SchedPolicy) *SchedRow {
+	for i := range s.Rows {
+		if s.Rows[i].Policy == policy {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the study.
+func (s *SchedStudy) Table() string {
+	tb := &metrics.Table{Header: []string{"policy", "total (ms)", "read (ms)", "disk resp (ms)"}}
+	for _, r := range s.Rows {
+		tb.AddRow(r.Policy.String(),
+			fmtFloat(r.TotalMillis, 0), fmtFloat(r.ReadMillis, 2), fmtFloat(r.DiskResponse, 1))
+	}
+	return tb.String()
+}
+
+// HybridResult compares a hybrid workload — half the processes running
+// lfp over private regions, the other half running lw over a shared
+// sub-file — against the corresponding pure runs. The paper mentions
+// such combinations in §IV-B and expects them not to be very important;
+// this measures that expectation. (Measured: the hybrid still benefits,
+// but less than either pure run — the barrier couples the fast lw half
+// to the slow lfp half while both halves compete for the prefetch
+// pool.)
+type HybridResult struct {
+	Hybrid *core.Result
+	PureA  *core.Result // pure run of the first sub-pattern (lfp)
+	PureB  *core.Result // pure run of the second sub-pattern (lw)
+	// Reductions vs the matching no-prefetch runs.
+	HybridReduction, PureAReduction, PureBReduction float64
+	// Per-process hit ratios are not recorded; per-process read times
+	// stand in: means over each subset of the hybrid's processes.
+	SubsetAReadMean, SubsetBReadMean float64
+}
+
+// RunHybridStudy builds a hybrid of lfp (first half of the processes)
+// and lw (second half) and the two pure baselines at matching scales.
+func RunHybridStudy(opts Options) *HybridResult {
+	half := opts.Procs / 2
+	rest := opts.Procs - half
+
+	mkHybrid := func(prefetch bool) core.Config {
+		cfg := opts.Config(pattern.LFP, barrier.EveryNPerProc, false, prefetch)
+		lfp := cfg.Pattern
+		lfp.Kind = pattern.LFP
+		lfp.Procs = half
+		lw := cfg.Pattern
+		lw.Kind = pattern.LW
+		lw.Procs = rest
+		cfg.Pattern = pattern.Config{
+			Kind:   pattern.HYB,
+			Procs:  opts.Procs,
+			Seed:   opts.Seed,
+			Hybrid: []pattern.Config{lfp, lw},
+		}
+		return cfg
+	}
+	mkPure := func(kind pattern.Kind, prefetch bool) core.Config {
+		return opts.Config(kind, barrier.EveryNPerProc, false, prefetch)
+	}
+
+	hb := core.MustRun(mkHybrid(false))
+	hp := core.MustRun(mkHybrid(true))
+	ab := core.MustRun(mkPure(pattern.LFP, false))
+	ap := core.MustRun(mkPure(pattern.LFP, true))
+	bb := core.MustRun(mkPure(pattern.LW, false))
+	bp := core.MustRun(mkPure(pattern.LW, true))
+
+	r := &HybridResult{
+		Hybrid:          hp,
+		PureA:           ap,
+		PureB:           bp,
+		HybridReduction: metrics.PercentReduction(hb.TotalTimeMillis(), hp.TotalTimeMillis()),
+		PureAReduction:  metrics.PercentReduction(ab.TotalTimeMillis(), ap.TotalTimeMillis()),
+		PureBReduction:  metrics.PercentReduction(bb.TotalTimeMillis(), bp.TotalTimeMillis()),
+	}
+	var a, b metrics.Summary
+	for node, ps := range hp.PerProc {
+		if node < half {
+			a.Merge(ps.ReadTime)
+		} else {
+			b.Merge(ps.ReadTime)
+		}
+	}
+	r.SubsetAReadMean = a.Mean()
+	r.SubsetBReadMean = b.Mean()
+	return r
+}
+
+// Report renders the hybrid study.
+func (r *HybridResult) Report() string {
+	return fmt.Sprintf(
+		"Hybrid workload (half lfp, half lw) vs pure runs:\n"+
+			"  exec-time reduction: hybrid %+.1f%%  (pure lfp %+.1f%%, pure lw %+.1f%%)\n"+
+			"  hybrid per-subset mean read: lfp-half %.2f ms, lw-half %.2f ms\n"+
+			"  hybrid hit ratio %.3f (pure lfp %.3f, pure lw %.3f)\n",
+		r.HybridReduction, r.PureAReduction, r.PureBReduction,
+		r.SubsetAReadMean, r.SubsetBReadMean,
+		r.Hybrid.HitRatio(), r.PureA.HitRatio(), r.PureB.HitRatio())
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/interleave"
+)
+
+func TestScalabilitySweep(t *testing.T) {
+	r := ScalabilitySweep(TestScale(), []int{4, 8})
+	pf := r.TotalTime.FindSeries("prefetch")
+	np := r.TotalTime.FindSeries("no prefetch")
+	if len(pf.Points) != 2 || len(np.Points) != 2 {
+		t.Fatal("series malformed")
+	}
+	// Prefetching should win at every size.
+	for i := range pf.Points {
+		if pf.Points[i].Y >= np.Points[i].Y {
+			t.Errorf("prefetch not faster at n=%v", pf.Points[i].X)
+		}
+	}
+	if len(r.Improvement.Series[0].Points) != 2 || len(r.ActionTime.Series[0].Points) != 2 {
+		t.Fatal("companion figures malformed")
+	}
+	// Contention for shared FS state grows with machine size.
+	act := r.ActionTime.Series[0].Points
+	if act[1].Y < act[0].Y {
+		t.Errorf("action time fell with machine size: %v", act)
+	}
+}
+
+func TestLayoutStudy(t *testing.T) {
+	s := RunLayoutStudy(TestScale())
+	if len(s.Rows) != 6 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	rr := s.Row(interleave.RoundRobin, true)
+	seg := s.Row(interleave.Segmented, true)
+	hash := s.Row(interleave.Hashed, true)
+	if rr == nil || seg == nil || hash == nil {
+		t.Fatal("missing rows")
+	}
+	// Round-robin interleaving beats the segmented layout for a
+	// cooperative sequential scan — the reason the paper's file system
+	// interleaves at all.
+	if rr.TotalMillis >= seg.TotalMillis {
+		t.Errorf("round-robin (%.0f ms) should beat segmented (%.0f ms)", rr.TotalMillis, seg.TotalMillis)
+	}
+	// Hashing scatters the head; round-robin's monotone per-disk order
+	// should see no worse disk response.
+	if rr.DiskResponse > hash.DiskResponse+1 {
+		t.Errorf("round-robin disk response %.1f worse than hashed %.1f", rr.DiskResponse, hash.DiskResponse)
+	}
+	table := s.Table()
+	if !strings.Contains(table, "segmented") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+	if s.Row(interleave.Strategy(9), true) != nil {
+		t.Fatal("Row returned data for unknown strategy")
+	}
+}
+
+func TestSchedStudy(t *testing.T) {
+	s := RunSchedStudy(TestScale())
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	fifo := s.Row(disk.FIFO)
+	sstf := s.Row(disk.SSTF)
+	scan := s.Row(disk.SCAN)
+	if fifo == nil || sstf == nil || scan == nil {
+		t.Fatal("missing rows")
+	}
+	// Re-ordering the queue must not make disk response worse than FIFO
+	// by more than noise under random placement.
+	if sstf.DiskResponse > fifo.DiskResponse*1.05 {
+		t.Errorf("SSTF disk response %.1f worse than FIFO %.1f", sstf.DiskResponse, fifo.DiskResponse)
+	}
+	if !strings.Contains(s.Table(), "sstf") {
+		t.Fatal("table malformed")
+	}
+	if s.Row(disk.SchedPolicy(9)) != nil {
+		t.Fatal("Row returned data for unknown policy")
+	}
+}
+
+func TestHybridStudy(t *testing.T) {
+	r := RunHybridStudy(TestScale())
+	// The hybrid must still improve with prefetching.
+	if r.HybridReduction <= 0 {
+		t.Errorf("hybrid reduction %+.1f%%", r.HybridReduction)
+	}
+	// The paper's expectation: nothing special — the hybrid's benefit
+	// lies in the (wide) band spanned by its components.
+	lo, hi := r.PureAReduction, r.PureBReduction
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if r.HybridReduction < lo-15 || r.HybridReduction > hi+15 {
+		t.Errorf("hybrid reduction %+.1f%% far outside [%.1f, %.1f]",
+			r.HybridReduction, lo, hi)
+	}
+	// The lw half (interprocess locality) reads faster than the lfp half.
+	if r.SubsetBReadMean >= r.SubsetAReadMean {
+		t.Errorf("lw-half read %.2f should beat lfp-half %.2f",
+			r.SubsetBReadMean, r.SubsetAReadMean)
+	}
+	if !strings.Contains(r.Report(), "Hybrid workload") {
+		t.Fatal("report malformed")
+	}
+}

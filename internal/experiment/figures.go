@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"repro/internal/metrics"
+)
+
+// Fig3ReadTime reproduces Fig. 3: average block read time under
+// prefetching (y) against no prefetching (x), with the y = x reference
+// line. All points below the line mean prefetching reduced read time.
+func (s *Suite) Fig3ReadTime() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:   "Fig. 3 — Average block read time: prefetch vs none",
+		XLabel:  "read time without prefetching (ms)",
+		YLabel:  "read time with prefetching (ms)",
+		DiagRef: true,
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		series.Add(p.NoPrefetch.ReadTime.Mean(), p.Prefetch.ReadTime.Mean())
+	}
+	return f
+}
+
+// Fig4HitRatioCDF reproduces Fig. 4: cumulative distributions of the
+// cache hit ratio with ("P") and without ("N") prefetching.
+func (s *Suite) Fig4HitRatioCDF() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:  "Fig. 4 — Hit ratio CDFs",
+		XLabel: "hit ratio",
+		YLabel: "cumulative fraction of experiments",
+	}
+	var pf, nf metrics.Sample
+	for _, p := range s.Pairs {
+		pf.Add(p.Prefetch.HitRatio())
+		nf.Add(p.NoPrefetch.HitRatio())
+	}
+	sp := f.AddSeries("P (prefetch)", 'P')
+	sp.Points = pf.CDF()
+	sn := f.AddSeries("N (none)", 'N')
+	sn.Points = nf.CDF()
+	return f
+}
+
+// Fig5HitKindsCDF reproduces Fig. 5: for the prefetching runs, the
+// fraction of accesses served by unready hits ("U") and ready hits
+// ("R"), as CDFs over experiments.
+func (s *Suite) Fig5HitKindsCDF() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:  "Fig. 5 — Fraction of accesses served by unready (U) and ready (R) hits",
+		XLabel: "fraction of accesses",
+		YLabel: "cumulative fraction of experiments",
+	}
+	var unready, ready metrics.Sample
+	for _, p := range s.Pairs {
+		unready.Add(p.Prefetch.UnreadyHitFraction())
+		ready.Add(p.Prefetch.ReadyHitFraction())
+	}
+	su := f.AddSeries("U (unready hits)", 'U')
+	su.Points = unready.CDF()
+	sr := f.AddSeries("R (ready hits)", 'R')
+	sr.Points = ready.CDF()
+	return f
+}
+
+// Fig6ReadVsHitWait reproduces Fig. 6: average block read time against
+// average hit-wait time for the prefetching runs ("fuzzy relationship").
+func (s *Suite) Fig6ReadVsHitWait() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:  "Fig. 6 — Read time vs hit-wait time (prefetching runs)",
+		XLabel: "average hit-wait time (ms)",
+		YLabel: "average block read time (ms)",
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		series.Add(p.Prefetch.HitWaitAll.Mean(), p.Prefetch.ReadTime.Mean())
+	}
+	return f
+}
+
+// Fig7DiskResponse reproduces Fig. 7: average disk response time under
+// prefetching vs none — prefetching increases disk contention, so most
+// points lie above y = x.
+func (s *Suite) Fig7DiskResponse() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:   "Fig. 7 — Disk response time: prefetch vs none",
+		XLabel:  "disk response without prefetching (ms)",
+		YLabel:  "disk response with prefetching (ms)",
+		DiagRef: true,
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		series.Add(p.NoPrefetch.DiskResponse.Mean(), p.Prefetch.DiskResponse.Mean())
+	}
+	return f
+}
+
+// Fig8TotalTime reproduces Fig. 8: total execution time under
+// prefetching vs none. Most points fall below y = x (improvement); a few
+// local-pattern points land above (the paper's negative result).
+func (s *Suite) Fig8TotalTime() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:   "Fig. 8 — Total execution time: prefetch vs none",
+		XLabel:  "total time without prefetching (ms)",
+		YLabel:  "total time with prefetching (ms)",
+		DiagRef: true,
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		series.Add(p.NoPrefetch.TotalTimeMillis(), p.Prefetch.TotalTimeMillis())
+	}
+	return f
+}
+
+// Fig9SyncTime reproduces Fig. 9: average synchronization time under
+// prefetching vs none, for the cells that synchronize. Prefetching
+// usually increases it — I/O savings convert into sync waits.
+func (s *Suite) Fig9SyncTime() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:   "Fig. 9 — Average synchronization time: prefetch vs none",
+		XLabel:  "sync time without prefetching (ms)",
+		YLabel:  "sync time with prefetching (ms)",
+		DiagRef: true,
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		if p.Prefetch.SyncTime.N() == 0 {
+			continue
+		}
+		series.Add(p.NoPrefetch.SyncTime.Mean(), p.Prefetch.SyncTime.Mean())
+	}
+	return f
+}
+
+// Fig10ExecVsRead reproduces Fig. 10: percentage reduction in total
+// execution time against percentage reduction in block read time — at
+// best a fuzzy relationship.
+func (s *Suite) Fig10ExecVsRead() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:  "Fig. 10 — Exec-time reduction vs read-time reduction",
+		XLabel: "% reduction in average block read time",
+		YLabel: "% reduction in total execution time",
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		series.Add(p.ReadReduction(), p.ExecReduction())
+	}
+	return f
+}
+
+// Fig11ExecVsHitRatio reproduces Fig. 11: percentage reduction in total
+// execution time against the hit ratio achieved with prefetching.
+func (s *Suite) Fig11ExecVsHitRatio() *metrics.Figure {
+	f := &metrics.Figure{
+		Title:  "Fig. 11 — Exec-time reduction vs hit ratio",
+		XLabel: "hit ratio with prefetching",
+		YLabel: "% reduction in total execution time",
+	}
+	series := f.AddSeries("experiments", 'o')
+	for _, p := range s.Pairs {
+		series.Add(p.Prefetch.HitRatio(), p.ExecReduction())
+	}
+	return f
+}

@@ -1,0 +1,281 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+)
+
+func TestCellsEnumeration(t *testing.T) {
+	cells := Cells()
+	// 6 patterns × 4 styles × 2 intensities − 2 (lw×portion excluded).
+	if len(cells) != 46 {
+		t.Fatalf("cells = %d, want 46", len(cells))
+	}
+	for _, c := range cells {
+		if c.Kind == pattern.LW && c.Sync == barrier.PerPortion {
+			t.Fatal("lw×portion not excluded")
+		}
+	}
+}
+
+func TestOptionsConfig(t *testing.T) {
+	opts := TestScale()
+	cfg := opts.Config(pattern.GW, barrier.EveryNTotal, true, true)
+	if cfg.Procs != opts.Procs || cfg.Disks != opts.Procs {
+		t.Fatal("procs/disks not applied")
+	}
+	if cfg.ComputeMean != 0 {
+		t.Fatal("iobound should zero compute")
+	}
+	if !cfg.Prefetch {
+		t.Fatal("prefetch not applied")
+	}
+	if cfg.SyncEveryTotal != opts.TotalBlocks/opts.SyncTotalDivisor {
+		t.Fatalf("SyncEveryTotal = %d", cfg.SyncEveryTotal)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("generated config invalid: %v", err)
+	}
+	local := opts.Config(pattern.LFP, barrier.None, false, false)
+	if local.ComputeMean == 0 {
+		t.Fatal("balanced run lost compute mean")
+	}
+	if err := local.Validate(); err != nil {
+		t.Fatalf("local config invalid: %v", err)
+	}
+}
+
+var cachedSuite *Suite
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	if cachedSuite == nil {
+		cachedSuite = RunSuite(TestScale())
+	}
+	return cachedSuite
+}
+
+func TestSuiteShapeMatchesPaper(t *testing.T) {
+	s := testSuite(t)
+	if len(s.Pairs) != 46 {
+		t.Fatalf("pairs = %d", len(s.Pairs))
+	}
+	sum := s.Summarize()
+	// Paper: prefetching reduced the average read time in every case.
+	if sum.ReadReduction.Min() <= 0 {
+		t.Errorf("some run did not improve read time: min %+.1f%%", sum.ReadReduction.Min())
+	}
+	// Paper: hit ratio over 0.69 in all prefetching cases. At test scale
+	// allow a slightly softer floor but require a clear improvement.
+	if sum.HitRatioPrefetch.Min() < 0.5 {
+		t.Errorf("prefetch hit ratio min %.3f too low", sum.HitRatioPrefetch.Min())
+	}
+	if sum.HitRatioPrefetch.Median() <= sum.HitRatioNoPrefetch.Median()+0.3 {
+		t.Errorf("hit ratio medians: P %.3f vs N %.3f",
+			sum.HitRatioPrefetch.Median(), sum.HitRatioNoPrefetch.Median())
+	}
+	// Paper: execution time improved in most cases (some slowdowns OK).
+	if sum.ExecReduction.Median() <= 0 {
+		t.Errorf("median exec reduction %+.1f%% not positive", sum.ExecReduction.Median())
+	}
+	if sum.Slowdowns > len(s.Pairs)/3 {
+		t.Errorf("too many slowdowns: %d of %d", sum.Slowdowns, len(s.Pairs))
+	}
+	// Paper: prefetching usually increases sync time.
+	if sum.SyncPairs == 0 || sum.SyncTimeIncreased*2 < sum.SyncPairs {
+		t.Errorf("sync increased in only %d of %d", sum.SyncTimeIncreased, sum.SyncPairs)
+	}
+}
+
+func TestSuiteFigures(t *testing.T) {
+	s := testSuite(t)
+	fig3 := s.Fig3ReadTime()
+	if len(fig3.Series[0].Points) != 46 {
+		t.Fatalf("fig3 points = %d", len(fig3.Series[0].Points))
+	}
+	// All points below the y=x line (read time always improves).
+	for _, p := range fig3.Series[0].Points {
+		if p.Y >= p.X {
+			t.Errorf("fig3 point above diagonal: %+v", p)
+		}
+	}
+	fig4 := s.Fig4HitRatioCDF()
+	if fig4.FindSeries("P (prefetch)") == nil || fig4.FindSeries("N (none)") == nil {
+		t.Fatal("fig4 series missing")
+	}
+	fig5 := s.Fig5HitKindsCDF()
+	if len(fig5.Series) != 2 {
+		t.Fatal("fig5 needs U and R series")
+	}
+	fig6 := s.Fig6ReadVsHitWait()
+	if len(fig6.Series[0].Points) != 46 {
+		t.Fatal("fig6 points wrong")
+	}
+	fig7 := s.Fig7DiskResponse()
+	above := 0
+	for _, p := range fig7.Series[0].Points {
+		if p.Y > p.X {
+			above++
+		}
+	}
+	if above*2 < len(fig7.Series[0].Points) {
+		t.Errorf("fig7: disk response should mostly worsen, only %d/%d above", above, len(fig7.Series[0].Points))
+	}
+	fig8 := s.Fig8TotalTime()
+	below := 0
+	for _, p := range fig8.Series[0].Points {
+		if p.Y < p.X {
+			below++
+		}
+	}
+	if below*2 < len(fig8.Series[0].Points) {
+		t.Errorf("fig8: total time should mostly improve, only %d/%d below", below, len(fig8.Series[0].Points))
+	}
+	fig9 := s.Fig9SyncTime()
+	if len(fig9.Series[0].Points) == 0 {
+		t.Fatal("fig9 empty")
+	}
+	if n := len(s.Fig10ExecVsRead().Series[0].Points); n != 46 {
+		t.Fatalf("fig10 points = %d", n)
+	}
+	if n := len(s.Fig11ExecVsHitRatio().Series[0].Points); n != 46 {
+		t.Fatalf("fig11 points = %d", n)
+	}
+}
+
+func TestSuiteTableAndByPattern(t *testing.T) {
+	s := testSuite(t)
+	table := s.Table()
+	if !strings.Contains(table, "gw/") || !strings.Contains(table, "Δexec%") {
+		t.Fatalf("table malformed:\n%.300s", table)
+	}
+	groups := s.ByPattern()
+	if len(groups) != 6 {
+		t.Fatalf("pattern groups = %d", len(groups))
+	}
+	// Paper §V-F: lw shows the best data points; lrp and lfp the least
+	// improvement among patterns.
+	lw := groups[pattern.LW].Exec.Median()
+	lrp := groups[pattern.LRP].Exec.Median()
+	if lw <= lrp {
+		t.Errorf("lw median exec reduction %.1f%% should beat lrp %.1f%%", lw, lrp)
+	}
+}
+
+func TestPairLabels(t *testing.T) {
+	p := &Pair{Kind: pattern.GW, Sync: barrier.None, IOBound: true}
+	if p.Label() != "gw/none/iobound" {
+		t.Fatalf("label = %q", p.Label())
+	}
+	p.IOBound = false
+	if p.Label() != "gw/none/balanced" {
+		t.Fatalf("label = %q", p.Label())
+	}
+}
+
+func TestComputeSweepShape(t *testing.T) {
+	opts := TestScale()
+	r := ComputeSweep(opts, []int{0, 10, 20, 30})
+	pf := r.TotalTime.FindSeries("prefetch")
+	np := r.TotalTime.FindSeries("no prefetch")
+	if pf == nil || np == nil || len(pf.Points) != 4 || len(np.Points) != 4 {
+		t.Fatal("compute sweep series malformed")
+	}
+	// Prefetching should win at every computation level here.
+	for i := range pf.Points {
+		if pf.Points[i].Y >= np.Points[i].Y {
+			t.Errorf("prefetch not faster at mean=%v: %v vs %v",
+				pf.Points[i].X, pf.Points[i].Y, np.Points[i].Y)
+		}
+	}
+	// Prefetch action time should fall as computation grows (less
+	// contention in the I/O subsystem).
+	act := r.ActionTime.Series[0].Points
+	if act[len(act)-1].Y >= act[0].Y {
+		t.Errorf("action time did not fall: %v -> %v", act[0].Y, act[len(act)-1].Y)
+	}
+	if r.ReadTime == nil || r.DiskResponse == nil {
+		t.Fatal("companion figures missing")
+	}
+}
+
+func TestLeadSweepShape(t *testing.T) {
+	opts := TestScale()
+	r := LeadSweep(opts, []int{0, 8, 16})
+	for _, fig := range []struct {
+		f    *metrics.Figure
+		name string
+	}{
+		{r.HitWait, "hit-wait"}, {r.MissRatio, "miss"}, {r.ReadTime, "read"}, {r.TotalTime, "total"},
+	} {
+		if len(fig.f.Series) != len(LeadKinds) {
+			t.Fatalf("%s: series = %d", fig.name, len(fig.f.Series))
+		}
+		for _, sr := range fig.f.Series {
+			if len(sr.Points) != 3 {
+				t.Fatalf("%s/%s: points = %d", fig.name, sr.Name, len(sr.Points))
+			}
+		}
+	}
+	// Paper Fig. 14: global patterns' miss ratios climb with lead.
+	gw := r.MissRatio.FindSeries("gw")
+	if gw.Points[len(gw.Points)-1].Y <= gw.Points[0].Y {
+		t.Errorf("gw miss ratio did not climb with lead: %v", gw.Points)
+	}
+}
+
+func TestMinPrefetchTimeSweep(t *testing.T) {
+	opts := TestScale()
+	r := MinPrefetchTimeSweep(opts, []int{0, 10, 20})
+	ov := r.Overrun.Series[0].Points
+	if len(ov) != 3 {
+		t.Fatalf("overrun points = %d", len(ov))
+	}
+	// Raising the threshold must not raise overrun; hit ratio should
+	// not improve.
+	if ov[2].Y > ov[0].Y {
+		t.Errorf("overrun rose with threshold: %v", ov)
+	}
+	hr := r.HitRatio.Series[0].Points
+	if hr[2].Y > hr[0].Y {
+		t.Errorf("hit ratio rose with threshold: %v", hr)
+	}
+	if len(r.TotalTime.Series[0].Points) != 3 {
+		t.Fatal("total-time series malformed")
+	}
+}
+
+func TestBufferCountSweep(t *testing.T) {
+	opts := TestScale()
+	f := BufferCountSweep(opts, []int{1, 3})
+	if len(f.Series) != 6 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: points = %d", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestFig1Motivation(t *testing.T) {
+	m := Fig1Motivation(1)
+	if len(m.PerProcRead) != 20 || len(m.PerProcSync) != 20 {
+		t.Fatalf("per-proc samples = %d/%d", len(m.PerProcRead), len(m.PerProcSync))
+	}
+	if !strings.Contains(m.Report, "total time") {
+		t.Fatalf("report malformed: %q", m.Report)
+	}
+	// The average read time must improve even if total time barely does.
+	if m.Prefetch.ReadTime.Mean() >= m.NoPrefetch.ReadTime.Mean() {
+		t.Error("motivation demo: read time did not improve")
+	}
+	// The paper's phenomenon: benefits are unevenly distributed.
+	if m.ReadSkew() < 1.5 {
+		t.Errorf("read skew = %.2fx, expected visible unevenness", m.ReadSkew())
+	}
+}

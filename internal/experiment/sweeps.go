@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+)
+
+// ComputeSweepResult carries the figures of the §V-C computation-balance
+// study (Fig. 12 and its companions): the gw pattern, synchronizing
+// every 10 blocks per process, as mean computation per block grows from
+// I/O-bound to compute-bound.
+type ComputeSweepResult struct {
+	TotalTime    *metrics.Figure // Fig. 12 proper
+	ReadTime     *metrics.Figure
+	DiskResponse *metrics.Figure
+	ActionTime   *metrics.Figure
+}
+
+// ComputeSweep runs the computation sweep over the given mean
+// computation times (ms).
+func ComputeSweep(opts Options, meansMS []int) *ComputeSweepResult {
+	r := &ComputeSweepResult{
+		TotalTime: &metrics.Figure{
+			Title:  "Fig. 12 — Total execution time vs computation per block (gw, sync each 10)",
+			XLabel: "mean computation per block (ms)",
+			YLabel: "total execution time (ms)",
+		},
+		ReadTime: &metrics.Figure{
+			Title:  "Fig. 12b — Average block read time vs computation per block",
+			XLabel: "mean computation per block (ms)",
+			YLabel: "average block read time (ms)",
+		},
+		DiskResponse: &metrics.Figure{
+			Title:  "Fig. 12c — Disk response time vs computation per block",
+			XLabel: "mean computation per block (ms)",
+			YLabel: "average disk response time (ms)",
+		},
+		ActionTime: &metrics.Figure{
+			Title:  "Fig. 12d — Prefetch action time vs computation per block",
+			XLabel: "mean computation per block (ms)",
+			YLabel: "average prefetch action time (ms)",
+		},
+	}
+	pfTotal := r.TotalTime.AddSeries("prefetch", 'P')
+	npTotal := r.TotalTime.AddSeries("no prefetch", 'N')
+	pfRead := r.ReadTime.AddSeries("prefetch", 'P')
+	npRead := r.ReadTime.AddSeries("no prefetch", 'N')
+	pfResp := r.DiskResponse.AddSeries("prefetch", 'P')
+	npResp := r.DiskResponse.AddSeries("no prefetch", 'N')
+	action := r.ActionTime.AddSeries("prefetch action", 'A')
+	for _, mean := range meansMS {
+		for _, prefetch := range []bool{false, true} {
+			cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, false, prefetch)
+			cfg.ComputeMean = sweepDuration(mean)
+			res := core.MustRun(cfg)
+			x := float64(mean)
+			if prefetch {
+				pfTotal.Add(x, res.TotalTimeMillis())
+				pfRead.Add(x, res.ReadTime.Mean())
+				pfResp.Add(x, res.DiskResponse.Mean())
+				action.Add(x, res.PrefetchActionTime.Mean())
+			} else {
+				npTotal.Add(x, res.TotalTimeMillis())
+				npRead.Add(x, res.ReadTime.Mean())
+				npResp.Add(x, res.DiskResponse.Mean())
+			}
+		}
+	}
+	return r
+}
+
+// LeadKinds are the patterns studied in the minimum-prefetch-lead
+// experiments (§V-E): the random-portion patterns are excluded because
+// they cannot prefetch past a portion anyway.
+var LeadKinds = []pattern.Kind{pattern.LFP, pattern.GFP, pattern.LW, pattern.GW}
+
+// LeadSweepResult carries Figs. 13–16.
+type LeadSweepResult struct {
+	HitWait   *metrics.Figure // Fig. 13
+	MissRatio *metrics.Figure // Fig. 14
+	ReadTime  *metrics.Figure // Fig. 15
+	TotalTime *metrics.Figure // Fig. 16 (local patterns normalized ÷ procs)
+}
+
+// LeadSweep runs the minimum-prefetch-lead experiments over the given
+// leads. Local patterns read LeadLocalReads blocks per process (2000 in
+// the paper, 40 000 in total) and their total time is divided by the
+// ratio to the global patterns' work for direct comparison, exactly as
+// in §V-E.
+func LeadSweep(opts Options, leads []int) *LeadSweepResult {
+	r := &LeadSweepResult{
+		HitWait: &metrics.Figure{
+			Title:  "Fig. 13 — Hit-wait time vs minimum prefetch lead",
+			XLabel: "minimum prefetch lead (blocks)",
+			YLabel: "average hit-wait time (ms)",
+		},
+		MissRatio: &metrics.Figure{
+			Title:  "Fig. 14 — Miss ratio vs minimum prefetch lead",
+			XLabel: "minimum prefetch lead (blocks)",
+			YLabel: "cache miss ratio",
+		},
+		ReadTime: &metrics.Figure{
+			Title:  "Fig. 15 — Block read time vs minimum prefetch lead",
+			XLabel: "minimum prefetch lead (blocks)",
+			YLabel: "average block read time (ms)",
+		},
+		TotalTime: &metrics.Figure{
+			Title:  "Fig. 16 — Total execution time vs minimum prefetch lead",
+			XLabel: "minimum prefetch lead (blocks)",
+			YLabel: "total execution time (ms, local ÷ procs)",
+		},
+	}
+	markers := map[pattern.Kind]byte{
+		pattern.LFP: 'l', pattern.GFP: 'g', pattern.LW: 'w', pattern.GW: 'G',
+	}
+	for _, kind := range LeadKinds {
+		hw := r.HitWait.AddSeries(kind.String(), markers[kind])
+		mr := r.MissRatio.AddSeries(kind.String(), markers[kind])
+		rt := r.ReadTime.AddSeries(kind.String(), markers[kind])
+		tt := r.TotalTime.AddSeries(kind.String(), markers[kind])
+		norm := 1
+		if kind.Local() {
+			// Local patterns read LeadLocalReads × Procs blocks versus
+			// TotalBlocks for global ones; normalize the total time by
+			// the work ratio.
+			norm = opts.LeadLocalReads * opts.Procs / opts.TotalBlocks
+			if norm < 1 {
+				norm = 1
+			}
+		}
+		for _, lead := range leads {
+			cfg := opts.Config(kind, barrier.EveryNPerProc, false, true)
+			if kind.Local() {
+				cfg.Pattern.BlocksPerProc = opts.LeadLocalReads
+			}
+			cfg.Lead = lead
+			res := core.MustRun(cfg)
+			x := float64(lead)
+			hw.Add(x, res.HitWaitAll.Mean())
+			mr.Add(x, res.MissRatio())
+			rt.Add(x, res.ReadTime.Mean())
+			tt.Add(x, res.NormalizedTotalMillis(norm))
+		}
+		// Non-prefetching baseline as a reference series, one point per
+		// figure domain end (the paper discusses leads relative to the
+		// no-prefetch time).
+	}
+	return r
+}
+
+// MinPrefetchTimeResult carries the §V-D minimum-prefetch-time
+// experiment: raising the threshold lowers overrun but degrades the hit
+// ratio, leaving total time about flat — "an unproductive idea".
+type MinPrefetchTimeResult struct {
+	Overrun   *metrics.Figure
+	HitRatio  *metrics.Figure
+	TotalTime *metrics.Figure
+}
+
+// MinPrefetchTimeSweep varies the minimum prefetch time for an I/O-bound
+// gw run.
+func MinPrefetchTimeSweep(opts Options, thresholdsMS []int) *MinPrefetchTimeResult {
+	r := &MinPrefetchTimeResult{
+		Overrun: &metrics.Figure{
+			Title:  "§V-D — Prefetch overrun vs minimum prefetch time (gw, I/O bound)",
+			XLabel: "minimum prefetch time (ms)",
+			YLabel: "average overrun (ms)",
+		},
+		HitRatio: &metrics.Figure{
+			Title:  "§V-D — Hit ratio vs minimum prefetch time",
+			XLabel: "minimum prefetch time (ms)",
+			YLabel: "hit ratio",
+		},
+		TotalTime: &metrics.Figure{
+			Title:  "§V-D — Total execution time vs minimum prefetch time",
+			XLabel: "minimum prefetch time (ms)",
+			YLabel: "total execution time (ms)",
+		},
+	}
+	so := r.Overrun.AddSeries("gw", 'o')
+	sh := r.HitRatio.AddSeries("gw", 'o')
+	st := r.TotalTime.AddSeries("gw", 'o')
+	for _, ms := range thresholdsMS {
+		cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, true, true)
+		cfg.MinPrefetchTime = sweepDuration(ms)
+		res := core.MustRun(cfg)
+		x := float64(ms)
+		so.Add(x, res.Overrun.Mean())
+		sh.Add(x, res.HitRatio())
+		st.Add(x, res.TotalTimeMillis())
+	}
+	return r
+}
+
+// BufferCountSweep reproduces the §V-F buffer-count experiment: total
+// execution time improvement as the number of prefetch buffers per
+// process varies. One buffer per process gives smaller improvements;
+// 2–5 make only a minor difference.
+func BufferCountSweep(opts Options, counts []int) *metrics.Figure {
+	f := &metrics.Figure{
+		Title:  "§V-F — Exec-time improvement vs prefetch buffers per process",
+		XLabel: "prefetch buffers per process",
+		YLabel: "% reduction in total execution time",
+	}
+	markers := map[pattern.Kind]byte{
+		pattern.LFP: 'l', pattern.LRP: 'r', pattern.LW: 'w',
+		pattern.GFP: 'g', pattern.GRP: 'p', pattern.GW: 'G',
+	}
+	for _, kind := range pattern.Kinds {
+		base := core.MustRun(opts.Config(kind, barrier.EveryNPerProc, false, false))
+		series := f.AddSeries(kind.String(), markers[kind])
+		for _, n := range counts {
+			cfg := opts.Config(kind, barrier.EveryNPerProc, false, true)
+			cfg.PrefetchBuffersPerProc = n
+			res := core.MustRun(cfg)
+			series.Add(float64(n),
+				metrics.PercentReduction(base.TotalTimeMillis(), res.TotalTimeMillis()))
+		}
+	}
+	return f
+}
+
+// MotivationResult is the Fig. 1 demonstration: when prefetching's
+// benefits are unevenly distributed across the processes of a barrier-
+// synchronized program, the lucky processes' read-time savings convert
+// into longer synchronization waits instead of completion-time savings
+// — the program still runs at the pace of the least-served process.
+// The lfp pattern, I/O bound, exhibits the skew most strongly (§V-B).
+type MotivationResult struct {
+	NoPrefetch *core.Result
+	Prefetch   *core.Result
+	// PerProcRead are the per-process mean read times under
+	// prefetching, showing the skew; PerProcSync the corresponding mean
+	// synchronization waits (anti-correlated with read time).
+	PerProcRead []float64
+	PerProcSync []float64
+	// Report is a human-readable rendering.
+	Report string
+}
+
+// ReadSkew returns slowest/fastest per-process mean read time.
+func (m *MotivationResult) ReadSkew() float64 {
+	lo, hi := m.PerProcRead[0], m.PerProcRead[0]
+	for _, v := range m.PerProcRead {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return hi / lo
+}
+
+// Fig1Motivation runs the uneven-benefit demonstration: the paper's
+// base lfp configuration, I/O bound, synchronizing every 10 blocks per
+// process.
+func Fig1Motivation(seed uint64) *MotivationResult {
+	cfg := core.DefaultConfig(pattern.LFP)
+	cfg.Sync = barrier.EveryNPerProc
+	cfg.ComputeMean = 0
+	cfg.Seed = seed
+	base := core.MustRun(cfg)
+	cfg.Prefetch = true
+	pf := core.MustRun(cfg)
+	m := &MotivationResult{NoPrefetch: base, Prefetch: pf}
+	fastest, slowest := 0, 0
+	for i, ps := range pf.PerProc {
+		m.PerProcRead = append(m.PerProcRead, ps.ReadTime.Mean())
+		m.PerProcSync = append(m.PerProcSync, ps.SyncWait.Mean())
+		if m.PerProcRead[i] < m.PerProcRead[fastest] {
+			fastest = i
+		}
+		if m.PerProcRead[i] > m.PerProcRead[slowest] {
+			slowest = i
+		}
+	}
+	m.Report = fmt.Sprintf(
+		"Fig. 1 motivation (lfp, I/O bound, barrier every 10 blocks/process):\n"+
+			"  total time:     %8.0f ms -> %8.0f ms (%+.1f%% — modest)\n"+
+			"  avg read time:  %8.2f ms -> %8.2f ms (%+.1f%% — large)\n"+
+			"  best-served process:  read %6.2f ms, then waits %6.2f ms at each barrier\n"+
+			"  least-served process: read %6.2f ms, then waits %6.2f ms\n"+
+			"  read-time skew (slowest/fastest): %.1fx\n"+
+			"  -> the lucky processes' I/O savings become synchronization\n"+
+			"     waits; the program advances at the least-served pace, so\n"+
+			"     savings on individual reads do not automatically become\n"+
+			"     savings in completion time.\n",
+		base.TotalTimeMillis(), pf.TotalTimeMillis(),
+		metrics.PercentReduction(base.TotalTimeMillis(), pf.TotalTimeMillis()),
+		base.ReadTime.Mean(), pf.ReadTime.Mean(),
+		metrics.PercentReduction(base.ReadTime.Mean(), pf.ReadTime.Mean()),
+		m.PerProcRead[fastest], m.PerProcSync[fastest],
+		m.PerProcRead[slowest], m.PerProcSync[slowest],
+		m.ReadSkew(),
+	)
+	return m
+}

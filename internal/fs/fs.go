@@ -1,0 +1,357 @@
+// Package fs builds a small general-purpose parallel file system on the
+// library's substrates: multiple named files, each interleaved over a
+// shared disk array, read through a shared block cache with optional
+// sequential readahead. It is the "what a practical system would look
+// like" counterpart to the core testbed — where internal/core reproduces
+// the paper's controlled experiments, this package is the reusable
+// Bridge-style file system a downstream simulation would embed.
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/interleave"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// Options configures a FileSystem.
+type Options struct {
+	// Disks is the number of parallel independent disks.
+	Disks int
+	// DiskProfile is the per-disk service model.
+	DiskProfile disk.Profile
+	// BlockSize is the file block size in bytes.
+	BlockSize int
+	// CacheFrames is the number of demand-class buffer frames.
+	CacheFrames int
+	// ReadaheadFrames is the number of prefetch-class frames; zero
+	// disables readahead entirely.
+	ReadaheadFrames int
+	// Readahead is the sequential readahead depth per read: after a
+	// read of block b, blocks b+1..b+Readahead are scheduled if absent.
+	Readahead int
+	// Layout is the block placement strategy (round-robin by default).
+	Layout interleave.Strategy
+	// Memory is the overhead cost model; zero-value charges (almost)
+	// nothing.
+	Memory memory.Model
+	// Nodes is the number of client nodes, for cache accounting.
+	Nodes int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Disks <= 0 {
+		out.Disks = 1
+	}
+	if out.DiskProfile.Access <= 0 {
+		out.DiskProfile.Access = 30 * sim.Millisecond
+	}
+	if out.BlockSize <= 0 {
+		out.BlockSize = 1024
+	}
+	if out.CacheFrames <= 0 {
+		out.CacheFrames = 4 * out.Disks
+	}
+	if out.Nodes <= 0 {
+		out.Nodes = 1
+	}
+	if out.Readahead < 0 {
+		out.Readahead = 0
+	}
+	if out.ReadaheadFrames < 0 {
+		out.ReadaheadFrames = 0
+	}
+	return out
+}
+
+// FileSystem is a shared parallel file system instance.
+type FileSystem struct {
+	k     *sim.Kernel
+	opts  Options
+	disks *disk.Array
+	bc    *cache.Cache
+	track memory.Tracker
+
+	files     map[string]*File
+	nextBase  int   // next global block id
+	diskAlloc []int // next physical block per disk
+
+	// Write-behind bookkeeping.
+	pendingWrites int
+	writesDrained *sim.WaitQueue
+	writesIssued  int64
+}
+
+// New creates an empty file system.
+func New(k *sim.Kernel, opts Options) *FileSystem {
+	o := opts.withDefaults()
+	fs := &FileSystem{
+		k:     k,
+		opts:  o,
+		disks: disk.NewArrayWithProfile(k, o.Disks, o.DiskProfile),
+		files: make(map[string]*File),
+		bc: cache.New(k, cache.Options{
+			DemandFrames:        o.CacheFrames,
+			PrefetchFrames:      o.ReadaheadFrames,
+			Nodes:               o.Nodes,
+			MaxPrefetchedUnused: o.ReadaheadFrames,
+			// Readahead is speculative; mistakes must be evictable.
+			EvictablePrefetched: true,
+		}),
+		diskAlloc: make([]int, o.Disks),
+	}
+	fs.writesDrained = sim.NewWaitQueue(k)
+	return fs
+}
+
+// CacheStats returns the shared cache's activity counters.
+func (fs *FileSystem) CacheStats() cache.Stats { return fs.bc.Stats() }
+
+// PendingWrites returns the number of write-backs still in flight.
+func (fs *FileSystem) PendingWrites() int { return fs.pendingWrites }
+
+// WritesIssued returns the total disk writes started.
+func (fs *FileSystem) WritesIssued() int64 { return fs.writesIssued }
+
+// DiskStats returns merged disk response statistics (ms).
+func (fs *FileSystem) DiskStats() (served int64, meanResponseMillis float64) {
+	s := fs.disks.ResponseStats()
+	return fs.disks.TotalServed(), s.Mean()
+}
+
+// File is one named, interleaved file.
+type File struct {
+	fs     *FileSystem
+	name   string
+	layout *interleave.Layout
+	base   int   // global id of logical block 0
+	phys   []int // physical base per disk
+}
+
+// Create allocates a new file of the given number of blocks. It fails
+// if the name exists or blocks is not positive.
+func (fs *FileSystem) Create(name string, blocks int) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("fs: file %q already exists", name)
+	}
+	if blocks <= 0 {
+		return nil, fmt.Errorf("fs: file %q needs a positive size, got %d", name, blocks)
+	}
+	f := &File{
+		fs:     fs,
+		name:   name,
+		layout: interleave.NewWithStrategy(fs.opts.Layout, blocks, fs.opts.Disks, fs.opts.BlockSize),
+		base:   fs.nextBase,
+		phys:   make([]int, fs.opts.Disks),
+	}
+	fs.nextBase += blocks
+	for d := 0; d < fs.opts.Disks; d++ {
+		f.phys[d] = fs.diskAlloc[d]
+		fs.diskAlloc[d] += f.layout.BlocksOnDisk(d)
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FileSystem) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Blocks returns the file's length in blocks.
+func (f *File) Blocks() int { return f.layout.Blocks() }
+
+// SizeBytes returns the file's length in bytes.
+func (f *File) SizeBytes() int64 { return f.layout.SizeBytes() }
+
+// globalID maps a logical block to its cache key.
+func (f *File) globalID(block int) int { return f.base + block }
+
+// locate maps a logical block to (disk, absolute physical block).
+func (f *File) locate(block int) (diskID, phys int) {
+	d, p := f.layout.Locate(block)
+	return d, f.phys[d] + p
+}
+
+// Handle is a per-client session on a file, tracking the buffer the
+// client currently holds (released on the next read or Close) — the
+// toss-immediately discipline of the testbed.
+type Handle struct {
+	file *File
+	node int
+	held *cache.Buffer
+}
+
+// OpenHandle returns a read handle for the client node.
+func (f *File) OpenHandle(node int) *Handle {
+	if node < 0 || node >= f.fs.opts.Nodes {
+		panic(fmt.Sprintf("fs: node %d out of range [0,%d)", node, f.fs.opts.Nodes))
+	}
+	return &Handle{file: f, node: node}
+}
+
+// Read obtains the given logical block, blocking the process until the
+// data are available, and schedules readahead. It returns the time the
+// read took.
+func (h *Handle) Read(p *sim.Proc, block int) sim.Duration {
+	f := h.file
+	if block < 0 || block >= f.Blocks() {
+		panic(fmt.Sprintf("fs: read of block %d outside file %q (%d blocks)", block, f.name, f.Blocks()))
+	}
+	start := p.Now()
+	h.release()
+	fs := f.fs
+	id := f.globalID(block)
+	for {
+		if buf := fs.bc.Lookup(id); buf != nil {
+			ready := fs.bc.Pin(h.node, buf)
+			fs.work(p, fs.opts.Memory.Hit)
+			if !ready {
+				buf.IODone.Wait(p)
+			}
+			h.held = buf
+			break
+		}
+		fs.work(p, fs.opts.Memory.Miss)
+		if fs.bc.Lookup(id) != nil {
+			continue
+		}
+		buf := fs.bc.AllocateDemand(h.node, id)
+		if buf == nil {
+			fs.bc.Freed.Sleep(p)
+			continue
+		}
+		d, phys := f.locate(block)
+		req := fs.disks.Submit(d, id, phys, false)
+		fs.bc.BeginFetch(buf, req.Complete, req.EstDone)
+		buf.IODone.Wait(p)
+		h.held = buf
+		break
+	}
+	f.readahead(p, h.node, block)
+	return p.Now().Sub(start)
+}
+
+// readahead schedules up to Readahead subsequent blocks without waiting
+// for them.
+func (f *File) readahead(p *sim.Proc, node, after int) {
+	fs := f.fs
+	depth := fs.opts.Readahead
+	for i := 1; i <= depth; i++ {
+		b := after + i
+		if b >= f.Blocks() {
+			return
+		}
+		id := f.globalID(b)
+		if fs.bc.Contains(id) {
+			continue
+		}
+		buf, res := fs.bc.AllocatePrefetch(node, id)
+		if res != cache.PrefetchOK {
+			return
+		}
+		fs.work(p, fs.opts.Memory.PrefetchAction)
+		d, phys := f.locate(b)
+		req := fs.disks.Submit(d, id, phys, true)
+		fs.bc.BeginFetch(buf, req.Complete, req.EstDone)
+	}
+}
+
+// Write replaces the contents of the given logical block. Whole-block
+// writes need no read I/O: the block is installed in the cache
+// immediately and written back to disk asynchronously (write-behind).
+// The handle holds the block afterwards, exactly as after Read. It
+// returns the time the write call took (cache work only — the disk
+// write proceeds in the background; use FileSystem.Sync to drain).
+func (h *Handle) Write(p *sim.Proc, block int) sim.Duration {
+	f := h.file
+	if block < 0 || block >= f.Blocks() {
+		panic(fmt.Sprintf("fs: write of block %d outside file %q (%d blocks)", block, f.name, f.Blocks()))
+	}
+	start := p.Now()
+	h.release()
+	fs := f.fs
+	id := f.globalID(block)
+	var buf *cache.Buffer
+	for {
+		if buf = fs.bc.Lookup(id); buf != nil {
+			ready := fs.bc.Pin(h.node, buf)
+			fs.work(p, fs.opts.Memory.Hit)
+			if !ready {
+				// Overwriting a block whose read is still in flight:
+				// wait for the frame to settle, then replace contents.
+				buf.IODone.Wait(p)
+			}
+			break
+		}
+		fs.work(p, fs.opts.Memory.Miss)
+		if fs.bc.Lookup(id) != nil {
+			continue
+		}
+		buf = fs.bc.AllocateWrite(h.node, id)
+		if buf == nil {
+			fs.bc.Freed.Sleep(p)
+			continue
+		}
+		break
+	}
+	h.held = buf
+	// Write-behind: keep the frame resident until the disk write lands.
+	fs.bc.Retain(buf)
+	d, phys := f.locate(block)
+	req := fs.disks.Submit(d, id, phys, false)
+	fs.pendingWrites++
+	fs.writesIssued++
+	req.Complete.OnFire(func() {
+		fs.bc.Unpin(buf)
+		fs.pendingWrites--
+		if fs.pendingWrites == 0 {
+			fs.writesDrained.WakeAll()
+		}
+	})
+	return p.Now().Sub(start)
+}
+
+// Sync blocks the process until every outstanding write-back has
+// reached the disks.
+func (fs *FileSystem) Sync(p *sim.Proc) sim.Duration {
+	start := p.Now()
+	for fs.pendingWrites > 0 {
+		fs.writesDrained.Sleep(p)
+	}
+	return p.Now().Sub(start)
+}
+
+// release drops the currently held buffer, if any.
+func (h *Handle) release() {
+	if h.held != nil {
+		h.file.fs.bc.Unpin(h.held)
+		h.held = nil
+	}
+}
+
+// Close releases the handle's held buffer.
+func (h *Handle) Close() { h.release() }
+
+// work charges an overhead cost (see core's fsWork; a 1µs floor keeps
+// virtual time advancing under zero-cost models).
+func (fs *FileSystem) work(p *sim.Proc, c memory.Cost) {
+	others := fs.track.Enter()
+	d := c.At(others)
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	p.Advance(d)
+	fs.track.Exit()
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderOptions controls ASCII figure rendering.
+type RenderOptions struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+}
+
+func (o RenderOptions) withDefaults() RenderOptions {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+// Render draws the figure as ASCII art: title, y axis with tick labels,
+// the plot area with one marker character per series, an optional y = x
+// reference line ('.'), x axis labels, and a legend. It is deliberately
+// plain — the point is to see the *shape* of each reproduced figure in a
+// terminal and in EXPERIMENTS.md.
+func (f *Figure) Render(opts RenderOptions) string {
+	opts = opts.withDefaults()
+	xmin, xmax, ymin, ymax, ok := f.Bounds()
+	if !ok {
+		return f.Title + "\n(no data)\n"
+	}
+	if f.DiagRef {
+		// The reference line needs a square-ish domain to be meaningful.
+		lo := math.Min(xmin, ymin)
+		hi := math.Max(xmax, ymax)
+		xmin, ymin, xmax, ymax = lo, lo, hi, hi
+	}
+	// Pad degenerate ranges so a flat series still renders.
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little margin keeps extreme points off the border.
+	xpad := (xmax - xmin) * 0.02
+	ypad := (ymax - ymin) * 0.05
+	xmin, xmax = xmin-xpad, xmax+xpad
+	ymin, ymax = ymin-ypad, ymax+ypad
+
+	w, h := opts.Width, opts.Height
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	toCol := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(w-1))
+		return clamp(c, 0, w-1)
+	}
+	toRow := func(y float64) int {
+		r := int((y - ymin) / (ymax - ymin) * float64(h-1))
+		return clamp(h-1-r, 0, h-1) // row 0 is the top
+	}
+	if f.DiagRef {
+		for c := 0; c < w; c++ {
+			x := xmin + (xmax-xmin)*float64(c)/float64(w-1)
+			grid[toRow(x)][c] = '.'
+		}
+	}
+	for _, s := range f.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for _, p := range s.Points {
+			grid[toRow(p.Y)][toCol(p.X)] = marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", f.YLabel)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case h - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		case h / 2:
+			label = fmt.Sprintf("%8.3g", (ymin+ymax)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	left := fmt.Sprintf("%.3g", xmin)
+	right := fmt.Sprintf("%.3g", xmax)
+	gap := w - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s %s%s%s\n", strings.Repeat(" ", 8), left, strings.Repeat(" ", gap), right)
+	if f.XLabel != "" {
+		fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", 8), center(f.XLabel, w))
+	}
+	var legend []string
+	for _, s := range f.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, s.Name))
+	}
+	if f.DiagRef {
+		legend = append(legend, ".=y=x")
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	if f.Footnote != "" {
+		fmt.Fprintf(&b, "%s\n", f.Footnote)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+// Table renders rows of labelled values as an aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

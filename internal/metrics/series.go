@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) observation in a plot series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points: one scatter cloud or one line of
+// a figure.
+type Series struct {
+	Name   string
+	Marker byte // single character used when rendering; 0 means '*'
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// SortByX orders the points by x coordinate (needed before rendering
+// line charts).
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// YSample returns the y values as a Sample.
+func (s *Series) YSample() *Sample {
+	var out Sample
+	for _, p := range s.Points {
+		out.Add(p.Y)
+	}
+	return &out
+}
+
+// Figure is a complete plot: several series plus axis labels. It is the
+// data product of one experiment, consumed by the ASCII renderer, the
+// CSV writer, and the EXPERIMENTS.md tables.
+type Figure struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	Series   []*Series
+	DiagRef  bool // draw the y = x reference line (the paper's scatter style)
+	Footnote string
+}
+
+// AddSeries appends a new named series and returns it.
+func (f *Figure) AddSeries(name string, marker byte) *Series {
+	s := &Series{Name: name, Marker: marker}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// FindSeries returns the series with the given name, or nil.
+func (f *Figure) FindSeries(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// CSV renders the figure's data as comma-separated values with a header,
+// one row per point, tagged with the series name.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvEscape(s.Name), p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	if s == "" {
+		return "value"
+	}
+	return s
+}
+
+// Bounds returns the min/max of x and y over all series. ok is false if
+// the figure has no points.
+func (f *Figure) Bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first {
+				xmin, xmax, ymin, ymax = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			if p.X < xmin {
+				xmin = p.X
+			}
+			if p.X > xmax {
+				xmax = p.X
+			}
+			if p.Y < ymin {
+				ymin = p.Y
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	return xmin, xmax, ymin, ymax, !first
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndSort(t *testing.T) {
+	var s Series
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.SortByX()
+	for i, want := range []float64{1, 2, 3} {
+		if s.Points[i].X != want {
+			t.Fatalf("point %d x = %v, want %v", i, s.Points[i].X, want)
+		}
+	}
+}
+
+func TestSeriesYSample(t *testing.T) {
+	var s Series
+	s.Add(0, 5)
+	s.Add(1, 15)
+	ys := s.YSample()
+	if ys.N() != 2 || ys.Mean() != 10 {
+		t.Fatalf("YSample: n=%d mean=%v", ys.N(), ys.Mean())
+	}
+}
+
+func TestFigureSeriesManagement(t *testing.T) {
+	f := &Figure{Title: "test"}
+	a := f.AddSeries("alpha", 'a')
+	f.AddSeries("beta", 'b')
+	if got := f.FindSeries("alpha"); got != a {
+		t.Fatal("FindSeries failed to locate series")
+	}
+	if f.FindSeries("gamma") != nil {
+		t.Fatal("FindSeries returned non-nil for missing series")
+	}
+}
+
+func TestFigureBounds(t *testing.T) {
+	f := &Figure{}
+	s := f.AddSeries("s", 's')
+	s.Add(1, 10)
+	s.Add(5, -2)
+	xmin, xmax, ymin, ymax, ok := f.Bounds()
+	if !ok {
+		t.Fatal("Bounds reported no data")
+	}
+	if xmin != 1 || xmax != 5 || ymin != -2 || ymax != 10 {
+		t.Fatalf("Bounds = %v %v %v %v", xmin, xmax, ymin, ymax)
+	}
+}
+
+func TestFigureBoundsEmpty(t *testing.T) {
+	f := &Figure{}
+	f.AddSeries("empty", 'e')
+	if _, _, _, _, ok := f.Bounds(); ok {
+		t.Fatal("Bounds on empty figure reported ok")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{XLabel: "x (ms)", YLabel: "y, stuff"}
+	s := f.AddSeries("run", 'r')
+	s.Add(1.5, 2.5)
+	csv := f.CSV()
+	if !strings.Contains(csv, `series,x (ms),"y, stuff"`) {
+		t.Fatalf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "run,1.5,2.5") {
+		t.Fatalf("CSV row missing: %q", csv)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`a"b`); got != `"a""b"` {
+		t.Fatalf("csvEscape quote: %q", got)
+	}
+	if got := csvEscape(""); got != "value" {
+		t.Fatalf("csvEscape empty: %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Fatalf("csvEscape plain: %q", got)
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	f := &Figure{Title: "scatter", XLabel: "xs", YLabel: "ys", DiagRef: true}
+	s := f.AddSeries("pts", 'o')
+	s.Add(0, 0)
+	s.Add(10, 5)
+	s.Add(5, 9)
+	out := f.Render(RenderOptions{Width: 40, Height: 10})
+	if !strings.Contains(out, "scatter") || !strings.Contains(out, "o=pts") {
+		t.Fatalf("render missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, ".=y=x") {
+		t.Fatalf("render missing diag legend:\n%s", out)
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Fatalf("render lost points:\n%s", out)
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	f := &Figure{Title: "nothing"}
+	out := f.Render(RenderOptions{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty render: %q", out)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	f := &Figure{Title: "flat"}
+	s := f.AddSeries("flat", 'f')
+	s.Add(1, 3)
+	s.Add(2, 3) // constant y
+	out := f.Render(RenderOptions{Width: 20, Height: 5})
+	if !strings.Contains(out, "f") {
+		t.Fatalf("flat series lost:\n%s", out)
+	}
+	g := &Figure{Title: "point"}
+	p := g.AddSeries("p", 'p')
+	p.Add(1, 1) // single point
+	out = g.Render(RenderOptions{Width: 20, Height: 5})
+	if !strings.Contains(out, "p=p") {
+		t.Fatalf("single point render:\n%s", out)
+	}
+}
+
+func TestRenderDefaultMarker(t *testing.T) {
+	f := &Figure{Title: "default"}
+	s := f.AddSeries("d", 0)
+	s.Add(1, 1)
+	out := f.Render(RenderOptions{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("default marker missing:\n%s", out)
+	}
+}
+
+func TestRenderFootnote(t *testing.T) {
+	f := &Figure{Title: "fn", Footnote: "note here"}
+	f.AddSeries("s", 's').Add(1, 1)
+	out := f.Render(RenderOptions{})
+	if !strings.Contains(out, "note here") {
+		t.Fatal("footnote missing")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "-----") {
+		t.Fatalf("table render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table line count = %d:\n%s", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) && !strings.HasPrefix(lines[2], "alpha") {
+		t.Fatalf("table misaligned:\n%s", out)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if got := center("ab", 6); got != "  ab" {
+		t.Fatalf("center = %q", got)
+	}
+	if got := center("abcdef", 3); got != "abcdef" {
+		t.Fatalf("center long = %q", got)
+	}
+}

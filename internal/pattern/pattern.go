@@ -1,0 +1,548 @@
+// Package pattern implements the paper's taxonomy of parallel file
+// access patterns and generators for the six representative patterns
+// embedded in the synthetic workload (§IV-B):
+//
+//	lfp — local fixed-length portions (regular length and spacing,
+//	      different file regions per process)
+//	lrp — local random portions (irregular length and spacing; portions
+//	      may overlap between processes by coincidence)
+//	lw  — local whole file (every process reads the entire file)
+//	gfp — global fixed portions (processes cooperate on globally
+//	      sequential portions of regular length and spacing)
+//	grp — global random portions (cooperating, irregular portions)
+//	gw  — global whole file (processes cooperate to read the file
+//	      exactly once)
+//
+// A local pattern is a set of per-process reference strings; a global
+// pattern is a single reference string whose accesses are claimed
+// dynamically (self-scheduling) by the cooperating processes, so that
+// the merged request order is only *roughly* sequential — exactly the
+// property the paper highlights.
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Kind identifies one of the six access patterns.
+type Kind int
+
+// The six representative parallel file access patterns.
+const (
+	LFP Kind = iota // local fixed-length portions
+	LRP             // local random portions
+	LW              // local whole file
+	GFP             // global fixed portions
+	GRP             // global random portions
+	GW              // global whole file
+)
+
+// HYB is a hybrid pattern: disjoint subsets of the processes each
+// follow their own (local) pure pattern over a private region of the
+// file — the "variations or combinations of the pure access patterns"
+// the paper mentions in §IV-B and expects not to matter much. Built
+// with Config.Hybrid.
+const HYB Kind = 6
+
+// Kinds lists the paper's six pure patterns, in its order (HYB, the
+// extension, is deliberately not included).
+var Kinds = []Kind{LFP, LRP, LW, GFP, GRP, GW}
+
+// String returns the paper's abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case LFP:
+		return "lfp"
+	case LRP:
+		return "lrp"
+	case LW:
+		return "lw"
+	case GFP:
+		return "gfp"
+	case GRP:
+		return "grp"
+	case GW:
+		return "gw"
+	case HYB:
+		return "hyb"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Parse converts a paper abbreviation ("lfp", "gw", ...) to a Kind.
+func Parse(s string) (Kind, error) {
+	for _, k := range append(append([]Kind{}, Kinds...), HYB) {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("pattern: unknown kind %q", s)
+}
+
+// Local reports whether each process follows its own reference string.
+func (k Kind) Local() bool { return k == LFP || k == LRP || k == LW || k == HYB }
+
+// Global reports whether processes cooperate on one reference string.
+func (k Kind) Global() bool { return !k.Local() }
+
+// Regular reports whether portion length and spacing are predictable, so
+// that a prefetcher may run ahead across portion boundaries. Whole-file
+// patterns are trivially regular. Hybrid patterns carry per-process
+// regularity (Pattern.LocalRegular) instead.
+func (k Kind) Regular() bool { return k != LRP && k != GRP && k != HYB }
+
+// Overlapped reports whether different processes' access sets can
+// intersect: always for lw, by coincidence for lrp.
+func (k Kind) Overlapped() bool { return k == LW || k == LRP }
+
+// Portion is a run of consecutive file blocks within a reference string.
+type Portion struct {
+	Index int // reference-string index of the portion's first access
+	Start int // first block number
+	Len   int // number of blocks
+}
+
+// End returns one past the last reference-string index of the portion.
+func (p Portion) End() int { return p.Index + p.Len }
+
+// Pattern is a fully generated workload access pattern.
+type Pattern struct {
+	Kind       Kind
+	Procs      int
+	FileBlocks int
+
+	// Local patterns: one string and portion list per process.
+	Local         [][]int
+	LocalPortions [][]Portion
+	// LocalRegular, when non-nil (hybrid patterns), gives per-process
+	// regularity, overriding Kind.Regular.
+	LocalRegular []bool
+
+	// Global patterns: a single shared string and portion list.
+	Global         []int
+	GlobalPortions []Portion
+}
+
+// TotalReads returns the total number of block reads across all
+// processes.
+func (p *Pattern) TotalReads() int {
+	if p.Kind.Global() {
+		return len(p.Global)
+	}
+	n := 0
+	for _, s := range p.Local {
+		n += len(s)
+	}
+	return n
+}
+
+// String summarizes the pattern.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("%s procs=%d file=%d reads=%d", p.Kind, p.Procs, p.FileBlocks, p.TotalReads())
+}
+
+// PortionOf returns the index within portions of the portion containing
+// reference-string index idx. Portions must be sorted by Index and
+// cover idx.
+func PortionOf(portions []Portion, idx int) int {
+	lo, hi := 0, len(portions)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if portions[mid].Index <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if len(portions) == 0 || portions[lo].Index > idx || idx >= portions[lo].End() {
+		panic(fmt.Sprintf("pattern: index %d not covered by portions", idx))
+	}
+	return lo
+}
+
+// Config parameterizes pattern generation. The zero value is not
+// useful; start from Defaults.
+type Config struct {
+	Kind  Kind
+	Procs int
+
+	// BlocksPerProc is the reads per process for local patterns (the
+	// paper uses 100 in the main suite and 2000 in the prefetch-lead
+	// experiments).
+	BlocksPerProc int
+	// TotalBlocks is the total reads for global patterns (2000).
+	TotalBlocks int
+
+	// Fixed-portion geometry (lfp, gfp).
+	PortionLen int
+	PortionGap int
+
+	// Random-portion geometry (lrp, grp).
+	MinPortion, MaxPortion int
+	MinGap, MaxGap         int
+
+	// Seed drives the random-portion patterns.
+	Seed uint64
+
+	// Hybrid, for Kind HYB, lists the local sub-patterns: each entry's
+	// Procs processes follow that pure pattern over a private region of
+	// the file. The entries' Procs must sum to the outer Procs.
+	Hybrid []Config
+}
+
+// Defaults returns the paper's base configuration (§IV-D) for the given
+// pattern kind.
+//
+// The paper does not specify portion geometry, so two choices are made
+// here and documented in DESIGN.md:
+//   - The fixed-portion gap is 11 (not 10) so portion starts do not all
+//     land on the same subset of the 20 interleaved disks — that would
+//     idle half the array, an artifact rather than a phenomenon from the
+//     paper.
+//   - Global random portions are long relative to the process count
+//     (50–150 blocks). Since prefetching never crosses an unestablished
+//     portion boundary, global portions much shorter than the 20
+//     cooperating processes would force almost every block of a fresh
+//     portion to be demand-fetched, contradicting the paper's observed
+//     hit ratios (all above 0.69). Local random portions stay short
+//     (4–16): a single process re-establishes its own next portion with
+//     one demand fetch and prefetches the remainder.
+func Defaults(kind Kind) Config {
+	cfg := Config{
+		Kind:          kind,
+		Procs:         20,
+		BlocksPerProc: 100,
+		TotalBlocks:   2000,
+		PortionLen:    10,
+		PortionGap:    11,
+		MinPortion:    4,
+		MaxPortion:    16,
+		MinGap:        4,
+		MaxGap:        16,
+		Seed:          1,
+	}
+	if kind == GRP {
+		cfg.MinPortion, cfg.MaxPortion = 50, 150
+		cfg.MinGap, cfg.MaxGap = 5, 50
+	}
+	return cfg
+}
+
+func (c *Config) validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("pattern: procs must be positive, got %d", c.Procs)
+	}
+	if c.Kind == HYB {
+		if len(c.Hybrid) == 0 {
+			return fmt.Errorf("pattern: hybrid needs at least one sub-pattern")
+		}
+		total := 0
+		for i := range c.Hybrid {
+			sub := c.Hybrid[i]
+			if !sub.Kind.Local() || sub.Kind == HYB {
+				return fmt.Errorf("pattern: hybrid sub-pattern %d must be a pure local kind, got %v", i, sub.Kind)
+			}
+			if err := sub.validate(); err != nil {
+				return fmt.Errorf("pattern: hybrid sub-pattern %d: %w", i, err)
+			}
+			total += sub.Procs
+		}
+		if total != c.Procs {
+			return fmt.Errorf("pattern: hybrid sub-pattern procs sum to %d, outer Procs is %d", total, c.Procs)
+		}
+		return nil
+	}
+	if c.Kind.Local() && c.BlocksPerProc <= 0 {
+		return fmt.Errorf("pattern: BlocksPerProc must be positive for %s", c.Kind)
+	}
+	if c.Kind.Global() && c.TotalBlocks <= 0 {
+		return fmt.Errorf("pattern: TotalBlocks must be positive for %s", c.Kind)
+	}
+	switch c.Kind {
+	case LFP, GFP:
+		if c.PortionLen <= 0 || c.PortionGap < 0 {
+			return fmt.Errorf("pattern: bad fixed-portion geometry len=%d gap=%d", c.PortionLen, c.PortionGap)
+		}
+	case LRP, GRP:
+		if c.MinPortion <= 0 || c.MaxPortion < c.MinPortion || c.MinGap < 0 || c.MaxGap < c.MinGap {
+			return fmt.Errorf("pattern: bad random-portion geometry")
+		}
+	}
+	return nil
+}
+
+// Generate builds the reference strings for the configured pattern.
+func Generate(cfg Config) (*Pattern, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case HYB:
+		return genHybrid(cfg)
+	case LFP:
+		return genLFP(cfg), nil
+	case LRP:
+		return genLRP(cfg), nil
+	case LW:
+		return genLW(cfg), nil
+	case GFP:
+		return genGFP(cfg), nil
+	case GRP:
+		return genGRP(cfg), nil
+	case GW:
+		return genGW(cfg), nil
+	}
+	return nil, fmt.Errorf("pattern: unknown kind %v", cfg.Kind)
+}
+
+// MustGenerate is Generate for static configurations known to be valid.
+func MustGenerate(cfg Config) *Pattern {
+	p, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// genLFP places, for each process, BlocksPerProc/PortionLen portions of
+// PortionLen blocks separated by PortionGap, in a private region of the
+// file ("at different places in the file for each process").
+func genLFP(cfg Config) *Pattern {
+	nPortions := cfg.BlocksPerProc / cfg.PortionLen
+	if nPortions == 0 {
+		nPortions = 1
+	}
+	lastLen := cfg.BlocksPerProc - (nPortions-1)*cfg.PortionLen
+	span := (nPortions-1)*(cfg.PortionLen+cfg.PortionGap) + lastLen + cfg.PortionGap
+	p := &Pattern{
+		Kind:       LFP,
+		Procs:      cfg.Procs,
+		FileBlocks: cfg.Procs * span,
+		Local:      make([][]int, cfg.Procs),
+	}
+	p.LocalPortions = make([][]Portion, cfg.Procs)
+	for proc := 0; proc < cfg.Procs; proc++ {
+		base := proc * span
+		var str []int
+		var portions []Portion
+		for i := 0; i < nPortions; i++ {
+			plen := cfg.PortionLen
+			if i == nPortions-1 {
+				plen = lastLen
+			}
+			start := base + i*(cfg.PortionLen+cfg.PortionGap)
+			portions = append(portions, Portion{Index: len(str), Start: start, Len: plen})
+			for b := start; b < start+plen; b++ {
+				str = append(str, b)
+			}
+		}
+		p.Local[proc] = str
+		p.LocalPortions[proc] = portions
+	}
+	return p
+}
+
+// genLRP gives each process portions of random length and spacing
+// starting from a random offset; regions from different processes may
+// overlap by coincidence.
+func genLRP(cfg Config) *Pattern {
+	// File is sized so ~half the blocks are read in aggregate, matching
+	// the expected density of the fixed-portion patterns.
+	file := 2 * cfg.Procs * cfg.BlocksPerProc
+	r := rng.New(cfg.Seed, 101)
+	p := &Pattern{
+		Kind:       LRP,
+		Procs:      cfg.Procs,
+		FileBlocks: file,
+		Local:      make([][]int, cfg.Procs),
+	}
+	p.LocalPortions = make([][]Portion, cfg.Procs)
+	for proc := 0; proc < cfg.Procs; proc++ {
+		cursor := r.Intn(file)
+		var str []int
+		var portions []Portion
+		for len(str) < cfg.BlocksPerProc {
+			plen := r.IntRange(cfg.MinPortion, cfg.MaxPortion)
+			if rem := cfg.BlocksPerProc - len(str); plen > rem {
+				plen = rem
+			}
+			if cursor+plen > file { // keep portions contiguous in the file
+				cursor = 0
+			}
+			portions = append(portions, Portion{Index: len(str), Start: cursor, Len: plen})
+			for b := cursor; b < cursor+plen; b++ {
+				str = append(str, b)
+			}
+			cursor += plen + r.IntRange(cfg.MinGap, cfg.MaxGap)
+			if cursor >= file {
+				cursor -= file
+			}
+		}
+		p.Local[proc] = str
+		p.LocalPortions[proc] = portions
+	}
+	return p
+}
+
+// genLW has every process read the entire file, which is BlocksPerProc
+// blocks long (paper: 100-block file, 20 processes, 2000 total reads).
+func genLW(cfg Config) *Pattern {
+	p := &Pattern{
+		Kind:       LW,
+		Procs:      cfg.Procs,
+		FileBlocks: cfg.BlocksPerProc,
+		Local:      make([][]int, cfg.Procs),
+	}
+	p.LocalPortions = make([][]Portion, cfg.Procs)
+	for proc := 0; proc < cfg.Procs; proc++ {
+		str := make([]int, cfg.BlocksPerProc)
+		for i := range str {
+			str[i] = i
+		}
+		p.Local[proc] = str
+		p.LocalPortions[proc] = []Portion{{Index: 0, Start: 0, Len: cfg.BlocksPerProc}}
+	}
+	return p
+}
+
+// genGFP tiles the file with global portions of fixed length and gap.
+func genGFP(cfg Config) *Pattern {
+	nPortions := cfg.TotalBlocks / cfg.PortionLen
+	if nPortions == 0 {
+		nPortions = 1
+	}
+	lastLen := cfg.TotalBlocks - (nPortions-1)*cfg.PortionLen
+	p := &Pattern{Kind: GFP, Procs: cfg.Procs}
+	for i := 0; i < nPortions; i++ {
+		plen := cfg.PortionLen
+		if i == nPortions-1 {
+			plen = lastLen
+		}
+		start := i * (cfg.PortionLen + cfg.PortionGap)
+		p.GlobalPortions = append(p.GlobalPortions, Portion{Index: len(p.Global), Start: start, Len: plen})
+		for b := start; b < start+plen; b++ {
+			p.Global = append(p.Global, b)
+		}
+	}
+	last := p.GlobalPortions[len(p.GlobalPortions)-1]
+	p.FileBlocks = last.Start + last.Len + cfg.PortionGap
+	return p
+}
+
+// genGRP builds one global string of randomly sized and spaced portions.
+func genGRP(cfg Config) *Pattern {
+	r := rng.New(cfg.Seed, 202)
+	p := &Pattern{Kind: GRP, Procs: cfg.Procs}
+	cursor := 0
+	for len(p.Global) < cfg.TotalBlocks {
+		plen := r.IntRange(cfg.MinPortion, cfg.MaxPortion)
+		if rem := cfg.TotalBlocks - len(p.Global); plen > rem {
+			plen = rem
+		}
+		p.GlobalPortions = append(p.GlobalPortions, Portion{Index: len(p.Global), Start: cursor, Len: plen})
+		for b := cursor; b < cursor+plen; b++ {
+			p.Global = append(p.Global, b)
+		}
+		cursor += plen + r.IntRange(cfg.MinGap, cfg.MaxGap)
+	}
+	p.FileBlocks = cursor
+	return p
+}
+
+// genGW reads the whole file exactly once, cooperatively.
+func genGW(cfg Config) *Pattern {
+	p := &Pattern{
+		Kind:       GW,
+		Procs:      cfg.Procs,
+		FileBlocks: cfg.TotalBlocks,
+		Global:     make([]int, cfg.TotalBlocks),
+	}
+	for i := range p.Global {
+		p.Global[i] = i
+	}
+	p.GlobalPortions = []Portion{{Index: 0, Start: 0, Len: cfg.TotalBlocks}}
+	return p
+}
+
+// genHybrid concatenates local sub-patterns: each sub-pattern's
+// processes and blocks are appended, with the sub-pattern's file region
+// shifted past the previous ones.
+func genHybrid(cfg Config) (*Pattern, error) {
+	p := &Pattern{Kind: HYB, Procs: cfg.Procs}
+	fileBase := 0
+	for i := range cfg.Hybrid {
+		sub := cfg.Hybrid[i]
+		sub.Seed = cfg.Seed + uint64(i)
+		sp, err := Generate(sub)
+		if err != nil {
+			return nil, err
+		}
+		for proc := range sp.Local {
+			str := make([]int, len(sp.Local[proc]))
+			for j, b := range sp.Local[proc] {
+				str[j] = b + fileBase
+			}
+			portions := make([]Portion, len(sp.LocalPortions[proc]))
+			for j, por := range sp.LocalPortions[proc] {
+				portions[j] = Portion{Index: por.Index, Start: por.Start + fileBase, Len: por.Len}
+			}
+			p.Local = append(p.Local, str)
+			p.LocalPortions = append(p.LocalPortions, portions)
+			p.LocalRegular = append(p.LocalRegular, sub.Kind.Regular())
+		}
+		fileBase += sp.FileBlocks
+	}
+	p.FileBlocks = fileBase
+	return p, nil
+}
+
+// RegularFor reports whether process `proc`'s accesses are regular
+// (predictable portion geometry), honouring per-process overrides.
+func (p *Pattern) RegularFor(proc int) bool {
+	if p.LocalRegular != nil {
+		return p.LocalRegular[proc]
+	}
+	return p.Kind.Regular()
+}
+
+// Validate checks internal consistency of a generated pattern: every
+// referenced block is inside the file, portions tile the reference
+// string exactly, and portion contents are consecutive block runs.
+func (p *Pattern) Validate() error {
+	checkString := func(str []int, portions []Portion) error {
+		covered := 0
+		for i, por := range portions {
+			if por.Index != covered {
+				return fmt.Errorf("portion %d starts at %d, want %d", i, por.Index, covered)
+			}
+			for j := 0; j < por.Len; j++ {
+				b := str[por.Index+j]
+				if b != por.Start+j {
+					return fmt.Errorf("portion %d entry %d is block %d, want %d", i, j, b, por.Start+j)
+				}
+				if b < 0 || b >= p.FileBlocks {
+					return fmt.Errorf("block %d outside file of %d blocks", b, p.FileBlocks)
+				}
+			}
+			covered += por.Len
+		}
+		if covered != len(str) {
+			return fmt.Errorf("portions cover %d of %d accesses", covered, len(str))
+		}
+		return nil
+	}
+	if p.Kind.Local() {
+		if len(p.Local) != p.Procs {
+			return fmt.Errorf("pattern: %d local strings for %d procs", len(p.Local), p.Procs)
+		}
+		for proc, str := range p.Local {
+			if err := checkString(str, p.LocalPortions[proc]); err != nil {
+				return fmt.Errorf("proc %d: %w", proc, err)
+			}
+		}
+		return nil
+	}
+	return checkString(p.Global, p.GlobalPortions)
+}

@@ -1,0 +1,263 @@
+// Package predict implements on-the-fly access-pattern predictors — the
+// future work the paper defers in §III ("we defer consideration of
+// on-the-fly prediction algorithms") and calls for in §VI
+// ("investigating mechanisms to gain information about the access
+// patterns that may then be used in prefetching decisions").
+//
+// Unlike the paper's oracle policies, predictors observe only the
+// demand stream and therefore make mistakes: they can prefetch blocks
+// nobody will read (wasted transfers that occupy prefetch frames until
+// evicted) and miss blocks they could have fetched. Three predictors
+// are provided, in increasing sophistication:
+//
+//   - OBL — one-block lookahead, the classic uniprocessor policy from
+//     the paper's related work (§II-B): on a demand for block b,
+//     predict b+1.
+//   - SEQ — an adaptive per-process sequential-run detector: the longer
+//     the run of consecutive blocks a process has demanded, the further
+//     ahead it prefetches (up to a cap), and a broken run resets it.
+//   - GAPS — a global-perspective detector: it watches the *merged*
+//     demand stream, estimates how sequential it is, and when
+//     confidence is high prefetches just beyond the global frontier.
+//     Local-only views cannot see globally sequential patterns (the
+//     paper's central observation about gw); this one can.
+package predict
+
+import "fmt"
+
+// Predictor proposes prefetch candidates from observed demand only.
+// Implementations are consulted by the engine's idle-time prefetcher.
+type Predictor interface {
+	// ObserveDemand records that node issued a demand read of block.
+	ObserveDemand(node, block int)
+	// Predict proposes the next block node should prefetch, skipping
+	// blocks for which inCache reports true. ok is false when the
+	// predictor has no confident candidate.
+	Predict(node int, inCache func(int) bool) (block int, ok bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Kind selects a predictor implementation.
+type Kind int
+
+// Predictor kinds. Oracle is the paper's reference-string policy,
+// handled by the engine itself rather than this package.
+const (
+	Oracle Kind = iota
+	OBL
+	SEQ
+	GAPS
+)
+
+// Kinds lists the on-the-fly predictor kinds (excluding Oracle).
+var Kinds = []Kind{OBL, SEQ, GAPS}
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Oracle:
+		return "oracle"
+	case OBL:
+		return "obl"
+	case SEQ:
+		return "seq"
+	case GAPS:
+		return "gaps"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Parse converts a predictor name to a Kind.
+func Parse(s string) (Kind, error) {
+	for _, k := range []Kind{Oracle, OBL, SEQ, GAPS} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("predict: unknown predictor %q", s)
+}
+
+// New constructs a predictor of the given kind for a file of fileBlocks
+// blocks read by nodes processes. It panics on Oracle (which has no
+// on-the-fly implementation) and unknown kinds.
+func New(kind Kind, nodes, fileBlocks int) Predictor {
+	if nodes <= 0 || fileBlocks <= 0 {
+		panic(fmt.Sprintf("predict: bad dimensions nodes=%d fileBlocks=%d", nodes, fileBlocks))
+	}
+	switch kind {
+	case OBL:
+		return newOBL(nodes, fileBlocks)
+	case SEQ:
+		return newSEQ(nodes, fileBlocks)
+	case GAPS:
+		return newGAPS(nodes, fileBlocks)
+	}
+	panic(fmt.Sprintf("predict: no on-the-fly implementation for %v", kind))
+}
+
+// obl predicts block+1 after each demand, per node.
+type obl struct {
+	fileBlocks int
+	last       []int // last demanded block per node; -1 before any
+}
+
+func newOBL(nodes, fileBlocks int) *obl {
+	p := &obl{fileBlocks: fileBlocks, last: make([]int, nodes)}
+	for i := range p.last {
+		p.last[i] = -1
+	}
+	return p
+}
+
+func (p *obl) Name() string { return "obl" }
+
+func (p *obl) ObserveDemand(node, block int) { p.last[node] = block }
+
+func (p *obl) Predict(node int, inCache func(int) bool) (int, bool) {
+	b := p.last[node]
+	if b < 0 {
+		return 0, false
+	}
+	next := b + 1
+	if next >= p.fileBlocks || inCache(next) {
+		return 0, false
+	}
+	return next, true
+}
+
+// seq adaptively extends a per-node sequential window: run length
+// doubles confidence up to a cap, a non-consecutive access resets it.
+type seq struct {
+	fileBlocks int
+	last       []int // last demanded block, -1 initially
+	run        []int // current consecutive run length
+	maxAhead   int
+}
+
+// seqMaxAhead caps how far SEQ will run ahead of a process's demand at
+// the paper's prefetch-buffer budget per process (3). A larger window
+// overcommits the shared prefetch pool: every portion end turns the
+// whole window into mispredictions, and with 20 processes those
+// evictions cascade into re-fetch thrash.
+const seqMaxAhead = 3
+
+func newSEQ(nodes, fileBlocks int) *seq {
+	p := &seq{
+		fileBlocks: fileBlocks,
+		last:       make([]int, nodes),
+		run:        make([]int, nodes),
+		maxAhead:   seqMaxAhead,
+	}
+	for i := range p.last {
+		p.last[i] = -1
+	}
+	return p
+}
+
+func (p *seq) Name() string { return "seq" }
+
+func (p *seq) ObserveDemand(node, block int) {
+	if p.last[node] >= 0 && block == p.last[node]+1 {
+		p.run[node]++
+	} else {
+		p.run[node] = 1
+	}
+	p.last[node] = block
+}
+
+func (p *seq) Predict(node int, inCache func(int) bool) (int, bool) {
+	if p.last[node] < 0 {
+		return 0, false
+	}
+	// Confidence window: as long as the observed run, capped.
+	ahead := p.run[node]
+	if ahead > p.maxAhead {
+		ahead = p.maxAhead
+	}
+	for d := 1; d <= ahead; d++ {
+		next := p.last[node] + d
+		if next >= p.fileBlocks {
+			return 0, false
+		}
+		if !inCache(next) {
+			return next, true
+		}
+	}
+	return 0, false
+}
+
+// gaps watches the merged demand stream from a global perspective: it
+// tracks the frontier (highest block demanded so far) and an estimate
+// of how sequential the merged stream is, and prefetches past the
+// frontier in proportion to that confidence.
+type gaps struct {
+	fileBlocks int
+	frontier   int // highest block demanded; -1 initially
+	// seqScore is a saturating counter: +1 for a demand near the
+	// frontier, -2 for a demand far from it.
+	seqScore int
+	maxScore int
+	// nearWindow defines "near the frontier": within one block per
+	// cooperating process, the slack self-scheduling introduces.
+	nearWindow int
+}
+
+const gapsMaxScore = 32
+
+func newGAPS(nodes, fileBlocks int) *gaps {
+	return &gaps{
+		fileBlocks: fileBlocks,
+		frontier:   -1,
+		maxScore:   gapsMaxScore,
+		nearWindow: 2 * nodes,
+	}
+}
+
+func (p *gaps) Name() string { return "gaps" }
+
+func (p *gaps) ObserveDemand(node, block int) {
+	if p.frontier < 0 {
+		p.frontier = block
+		return
+	}
+	dist := block - p.frontier
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist <= p.nearWindow {
+		if p.seqScore < p.maxScore {
+			p.seqScore++
+		}
+	} else {
+		p.seqScore -= 2
+		if p.seqScore < 0 {
+			p.seqScore = 0
+		}
+	}
+	if block > p.frontier {
+		p.frontier = block
+	}
+}
+
+// confidenceThreshold is the score above which GAPS trusts the global
+// stream enough to prefetch.
+const gapsConfidence = 6
+
+func (p *gaps) Predict(node int, inCache func(int) bool) (int, bool) {
+	if p.frontier < 0 || p.seqScore < gapsConfidence {
+		return 0, false
+	}
+	// Prefetch depth grows with confidence.
+	depth := p.seqScore
+	for d := 1; d <= depth; d++ {
+		next := p.frontier + d
+		if next >= p.fileBlocks {
+			return 0, false
+		}
+		if !inCache(next) {
+			return next, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,202 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func never(int) bool { return false }
+
+func cachedSet(blocks ...int) func(int) bool {
+	m := map[int]bool{}
+	for _, b := range blocks {
+		m[b] = true
+	}
+	return func(b int) bool { return m[b] }
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range []Kind{Oracle, OBL, SEQ, GAPS} {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Fatalf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Fatal("Parse accepted unknown name")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should format")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New(Oracle, 2, 10) },
+		func() { New(Kind(9), 2, 10) },
+		func() { New(OBL, 0, 10) },
+		func() { New(OBL, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOBLBasic(t *testing.T) {
+	p := New(OBL, 2, 100)
+	if p.Name() != "obl" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if _, ok := p.Predict(0, never); ok {
+		t.Fatal("OBL predicted before any demand")
+	}
+	p.ObserveDemand(0, 10)
+	b, ok := p.Predict(0, never)
+	if !ok || b != 11 {
+		t.Fatalf("Predict = %d,%v, want 11", b, ok)
+	}
+	// Per-node state.
+	if _, ok := p.Predict(1, never); ok {
+		t.Fatal("OBL leaked state across nodes")
+	}
+	// Cached successor: nothing to do.
+	if _, ok := p.Predict(0, cachedSet(11)); ok {
+		t.Fatal("OBL predicted a cached block")
+	}
+	// End of file.
+	p.ObserveDemand(0, 99)
+	if _, ok := p.Predict(0, never); ok {
+		t.Fatal("OBL predicted past end of file")
+	}
+}
+
+func TestSEQRunAdaptation(t *testing.T) {
+	p := New(SEQ, 1, 1000).(*seq)
+	// One access: window of 1.
+	p.ObserveDemand(0, 5)
+	if b, ok := p.Predict(0, never); !ok || b != 6 {
+		t.Fatalf("after one access: %d,%v", b, ok)
+	}
+	// Window 1 means a cached immediate successor blocks prediction.
+	if _, ok := p.Predict(0, cachedSet(6)); ok {
+		t.Fatal("window-1 SEQ should not skip ahead")
+	}
+	// Grow the run: window expands, cached blocks are skipped.
+	for b := 6; b <= 10; b++ {
+		p.ObserveDemand(0, b)
+	}
+	if b, ok := p.Predict(0, cachedSet(11, 12)); !ok || b != 13 {
+		t.Fatalf("grown window: %d,%v, want 13", b, ok)
+	}
+	// Cap.
+	for b := 11; b <= 40; b++ {
+		p.ObserveDemand(0, b)
+	}
+	cached := make([]int, seqMaxAhead)
+	for i := range cached {
+		cached[i] = 41 + i
+	}
+	if _, ok := p.Predict(0, cachedSet(cached...)); ok {
+		t.Fatal("SEQ exceeded its ahead cap")
+	}
+	// A jump resets the run.
+	p.ObserveDemand(0, 500)
+	if p.run[0] != 1 {
+		t.Fatalf("run after jump = %d", p.run[0])
+	}
+}
+
+func TestSEQEndOfFile(t *testing.T) {
+	p := New(SEQ, 1, 10)
+	p.ObserveDemand(0, 9)
+	if _, ok := p.Predict(0, never); ok {
+		t.Fatal("SEQ predicted past end of file")
+	}
+}
+
+func TestGAPSConfidence(t *testing.T) {
+	p := New(GAPS, 4, 1000)
+	// Not confident before enough near-frontier observations.
+	p.ObserveDemand(0, 0)
+	if _, ok := p.Predict(0, never); ok {
+		t.Fatal("GAPS predicted without confidence")
+	}
+	// A globally sequential stream (claims near the frontier) builds
+	// confidence.
+	for b := 1; b <= 10; b++ {
+		p.ObserveDemand(b%4, b)
+	}
+	b, ok := p.Predict(0, never)
+	if !ok || b != 11 {
+		t.Fatalf("confident GAPS: %d,%v, want 11", b, ok)
+	}
+	// Any node may use the global prediction.
+	if b, ok := p.Predict(3, cachedSet(11)); !ok || b != 12 {
+		t.Fatalf("GAPS skip-cached: %d,%v, want 12", b, ok)
+	}
+}
+
+func TestGAPSLosesConfidenceOnRandomStream(t *testing.T) {
+	p := New(GAPS, 4, 100000).(*gaps)
+	// Build confidence first.
+	for b := 1; b <= 20; b++ {
+		p.ObserveDemand(0, b)
+	}
+	if p.seqScore < gapsConfidence {
+		t.Fatalf("score %d after sequential stream", p.seqScore)
+	}
+	// Far-flung accesses tear it down twice as fast as it builds.
+	for i := 0; i < 20; i++ {
+		p.ObserveDemand(0, 50000+i*1000)
+	}
+	if _, ok := p.Predict(0, never); ok {
+		t.Fatal("GAPS stayed confident on a random stream")
+	}
+	if p.seqScore != 0 {
+		t.Fatalf("score = %d after random stream", p.seqScore)
+	}
+}
+
+func TestGAPSEndOfFile(t *testing.T) {
+	p := New(GAPS, 2, 30)
+	for b := 0; b < 30; b++ {
+		p.ObserveDemand(b%2, b)
+	}
+	if _, ok := p.Predict(0, never); ok {
+		t.Fatal("GAPS predicted past end of file")
+	}
+}
+
+// Property: no predictor ever proposes an out-of-range or cached block,
+// under arbitrary demand streams.
+func TestPredictionsAlwaysValid(t *testing.T) {
+	check := func(kindRaw uint8, demands []uint16) bool {
+		kind := Kinds[int(kindRaw)%len(Kinds)]
+		const file = 512
+		p := New(kind, 4, file)
+		cached := map[int]bool{}
+		inCache := func(b int) bool { return cached[b] }
+		for i, d := range demands {
+			block := int(d) % file
+			node := i % 4
+			p.ObserveDemand(node, block)
+			cached[block] = true
+			if b, ok := p.Predict(node, inCache); ok {
+				if b < 0 || b >= file || cached[b] {
+					return false
+				}
+				cached[b] = true // as if prefetched
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

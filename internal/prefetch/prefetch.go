@@ -1,0 +1,146 @@
+// Package prefetch implements the paper's prefetching policies: for each
+// access pattern, a predictor that always chooses a block genuinely
+// needed in the near future ("optimistic" — the reference strings are
+// supplied in advance, §IV-B), tempered by the restrictions the paper
+// imposes so that only feasibly-predictable information is used:
+//
+//   - Local patterns prefetch only from the issuing process's own
+//     reference string; global patterns prefetch from the shared string.
+//   - Irregular patterns (lrp, grp) never prefetch past the end of the
+//     current portion until a demand fetch establishes the next one.
+//   - Regular patterns (lfp, gfp, lw, gw) may run ahead across portions.
+//   - An optional minimum prefetch lead (§V-E) skips candidates closer
+//     than `lead` accesses ahead of the demand position, relaxed near
+//     the end of the reference string as in the paper.
+package prefetch
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// Policy selects prefetch candidates for a generated pattern. It is
+// driven by the engine: NoteDemand records demand progress, Select
+// proposes the next block to prefetch.
+type Policy struct {
+	pat  *pattern.Pattern
+	lead int
+
+	states []stringState // one per process (local) or a single shared one (global)
+}
+
+type stringState struct {
+	str        []int
+	portions   []pattern.Portion
+	nextDemand int // lowest reference-string index not yet demanded
+}
+
+// NewPolicy builds the policy for a pattern with the given minimum
+// prefetch lead (0 reproduces the paper's base strategy).
+func NewPolicy(pat *pattern.Pattern, lead int) *Policy {
+	if lead < 0 {
+		panic(fmt.Sprintf("prefetch: negative lead %d", lead))
+	}
+	p := &Policy{pat: pat, lead: lead}
+	if pat.Kind.Local() {
+		p.states = make([]stringState, len(pat.Local))
+		for i := range pat.Local {
+			p.states[i] = stringState{str: pat.Local[i], portions: pat.LocalPortions[i]}
+		}
+	} else {
+		p.states = []stringState{{str: pat.Global, portions: pat.GlobalPortions}}
+	}
+	return p
+}
+
+// Lead returns the configured minimum prefetch lead.
+func (p *Policy) Lead() int { return p.lead }
+
+func (p *Policy) stateFor(node int) *stringState {
+	if p.pat.Kind.Local() {
+		return &p.states[node]
+	}
+	return &p.states[0]
+}
+
+// NoteDemand records that the access at reference-string index idx has
+// been issued by a process (for local patterns, index into that node's
+// string; for global patterns, into the shared string). Demand progress
+// both defines the prefetch horizon for irregular patterns and anchors
+// the minimum-lead window.
+func (p *Policy) NoteDemand(node, idx int) {
+	st := p.stateFor(node)
+	if idx < 0 || idx >= len(st.str) {
+		panic(fmt.Sprintf("prefetch: demand index %d out of range", idx))
+	}
+	if idx+1 > st.nextDemand {
+		st.nextDemand = idx + 1
+	}
+}
+
+// NextDemand returns the node's (or the global) demand cursor.
+func (p *Policy) NextDemand(node int) int { return p.stateFor(node).nextDemand }
+
+// horizon returns one past the last reference-string index the policy
+// may prefetch for this state.
+func (st *stringState) horizon(regular bool) int {
+	if regular {
+		return len(st.str)
+	}
+	// Irregular: only within the portion the demand stream has reached.
+	// Before any demand, the first portion's location is known (the
+	// process is about to start there).
+	anchor := st.nextDemand - 1
+	if anchor < 0 {
+		anchor = 0
+	}
+	if anchor >= len(st.str) {
+		return len(st.str)
+	}
+	por := st.portions[pattern.PortionOf(st.portions, anchor)]
+	return por.End()
+}
+
+// Select proposes the next block for node to prefetch: the nearest
+// future access whose block is not already cached, at least `lead`
+// accesses ahead of the demand cursor (relaxed near the end of the
+// string), and within the portion horizon for irregular patterns.
+// It reports ok=false when no candidate exists right now.
+func (p *Policy) Select(node int, inCache func(block int) bool) (block, idx int, ok bool) {
+	st := p.stateFor(node)
+	regular := p.pat.Kind.Regular()
+	if p.pat.Kind.Local() {
+		regular = p.pat.RegularFor(node)
+	}
+	limit := st.horizon(regular)
+	start := st.nextDemand + p.lead
+	if block, idx, ok = scan(st.str, start, limit, inCache); ok {
+		return block, idx, true
+	}
+	// Near the end of the string the lead window may be empty; the paper
+	// relaxes the restriction there so the tail can still be prefetched.
+	if p.lead > 0 && start > limit-1 {
+		return scan(st.str, st.nextDemand, limit, inCache)
+	}
+	return 0, 0, false
+}
+
+func scan(str []int, from, to int, inCache func(int) bool) (block, idx int, ok bool) {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < to; i++ {
+		if !inCache(str[i]) {
+			return str[i], i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Exhausted reports whether the node's demand stream has consumed its
+// whole reference string.
+func (p *Policy) Exhausted(node int) bool {
+	st := p.stateFor(node)
+	return st.nextDemand >= len(st.str)
+}

@@ -1,0 +1,245 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func noneCached(int) bool { return false }
+
+func cachedSet(blocks ...int) func(int) bool {
+	m := map[int]bool{}
+	for _, b := range blocks {
+		m[b] = true
+	}
+	return func(b int) bool { return m[b] }
+}
+
+func smallGW(total int) *pattern.Pattern {
+	cfg := pattern.Defaults(pattern.GW)
+	cfg.TotalBlocks = total
+	return pattern.MustGenerate(cfg)
+}
+
+func TestSelectNearestFuture(t *testing.T) {
+	p := NewPolicy(smallGW(10), 0)
+	block, idx, ok := p.Select(0, noneCached)
+	if !ok || block != 0 || idx != 0 {
+		t.Fatalf("Select = %d,%d,%v", block, idx, ok)
+	}
+	p.NoteDemand(0, 0)
+	p.NoteDemand(0, 1)
+	block, idx, ok = p.Select(0, noneCached)
+	if !ok || block != 2 || idx != 2 {
+		t.Fatalf("after demand: Select = %d,%d,%v", block, idx, ok)
+	}
+}
+
+func TestSelectSkipsCached(t *testing.T) {
+	p := NewPolicy(smallGW(10), 0)
+	block, _, ok := p.Select(0, cachedSet(0, 1, 2))
+	if !ok || block != 3 {
+		t.Fatalf("Select = %d,%v, want 3", block, ok)
+	}
+}
+
+func TestSelectExhausted(t *testing.T) {
+	p := NewPolicy(smallGW(3), 0)
+	if _, _, ok := p.Select(0, cachedSet(0, 1, 2)); ok {
+		t.Fatal("Select found candidate with everything cached")
+	}
+	for i := 0; i < 3; i++ {
+		p.NoteDemand(0, i)
+	}
+	if !p.Exhausted(0) {
+		t.Fatal("Exhausted false after full demand")
+	}
+	if _, _, ok := p.Select(0, noneCached); ok {
+		t.Fatal("Select found candidate past end of string")
+	}
+}
+
+func TestLeadWindow(t *testing.T) {
+	p := NewPolicy(smallGW(100), 10)
+	block, _, ok := p.Select(0, noneCached)
+	if !ok || block != 10 {
+		t.Fatalf("lead Select = %d,%v, want 10", block, ok)
+	}
+	p.NoteDemand(0, 0)
+	block, _, ok = p.Select(0, noneCached)
+	if !ok || block != 11 {
+		t.Fatalf("lead Select after demand = %d, want 11", block)
+	}
+}
+
+func TestLeadRelaxedNearEnd(t *testing.T) {
+	p := NewPolicy(smallGW(10), 50) // lead longer than the string
+	block, _, ok := p.Select(0, noneCached)
+	if !ok || block != 0 {
+		t.Fatalf("relaxed Select = %d,%v, want 0", block, ok)
+	}
+	// After demand has nearly exhausted the string, the tail must still
+	// be reachable.
+	for i := 0; i < 8; i++ {
+		p.NoteDemand(0, i)
+	}
+	block, _, ok = p.Select(0, noneCached)
+	if !ok || block != 8 {
+		t.Fatalf("tail Select = %d,%v, want 8", block, ok)
+	}
+}
+
+func TestLeadWindowEmptyButNotAtEnd(t *testing.T) {
+	// With lead=5 on a 100-block string, demand at 0: window [5,100).
+	// All of [5,100) cached → no candidate, but NO relaxation (we are
+	// not near the end), so blocks 1..4 must not be offered.
+	p := NewPolicy(smallGW(100), 5)
+	cached := func(b int) bool { return b >= 5 }
+	if _, _, ok := p.Select(0, cached); ok {
+		t.Fatal("Select offered a block inside the lead window")
+	}
+}
+
+func TestIrregularPortionHorizon(t *testing.T) {
+	cfg := pattern.Defaults(pattern.GRP)
+	cfg.TotalBlocks = 60
+	cfg.MinPortion, cfg.MaxPortion = 4, 16
+	cfg.MinGap, cfg.MaxGap = 4, 16
+	pat := pattern.MustGenerate(cfg)
+	p := NewPolicy(pat, 0)
+	first := pat.GlobalPortions[0]
+	// Before any demand, only the first portion is prefetchable.
+	for i := 0; i < first.Len; i++ {
+		block, idx, ok := p.Select(0, cachedBelowIdx(pat.Global, i))
+		if !ok {
+			t.Fatalf("no candidate at step %d", i)
+		}
+		if idx != i || block != pat.Global[i] {
+			t.Fatalf("step %d: got idx %d", i, idx)
+		}
+	}
+	// Everything in portion 0 cached: no candidate until demand enters
+	// portion 1.
+	if _, _, ok := p.Select(0, cachedBelowIdx(pat.Global, first.Len)); ok {
+		t.Fatal("prefetched past unestablished portion boundary")
+	}
+	// Demand reaches into portion 1: its remainder becomes available.
+	p.NoteDemand(0, first.Len)
+	second := pat.GlobalPortions[1]
+	block, idx, ok := p.Select(0, cachedBelowIdx(pat.Global, first.Len+1))
+	if !ok || idx != first.Len+1 || block != pat.Global[first.Len+1] {
+		t.Fatalf("portion 1: got %d,%d,%v (want idx %d)", block, idx, ok, first.Len+1)
+	}
+	_ = second
+}
+
+func cachedBelowIdx(str []int, n int) func(int) bool {
+	m := map[int]bool{}
+	for i := 0; i < n; i++ {
+		m[str[i]] = true
+	}
+	return func(b int) bool { return m[b] }
+}
+
+func TestRegularCrossesPortions(t *testing.T) {
+	cfg := pattern.Defaults(pattern.GFP)
+	cfg.TotalBlocks = 40
+	pat := pattern.MustGenerate(cfg)
+	p := NewPolicy(pat, 0)
+	// All of portion 0 cached; candidate should come from portion 1
+	// even with no demand there (regular patterns may run ahead).
+	first := pat.GlobalPortions[0]
+	block, idx, ok := p.Select(0, cachedBelowIdx(pat.Global, first.Len))
+	if !ok || idx != first.Len {
+		t.Fatalf("regular cross-portion Select = %d,%d,%v", block, idx, ok)
+	}
+}
+
+func TestLocalPatternPerNodeStrings(t *testing.T) {
+	cfg := pattern.Defaults(pattern.LFP)
+	cfg.Procs = 3
+	cfg.BlocksPerProc = 20
+	pat := pattern.MustGenerate(cfg)
+	p := NewPolicy(pat, 0)
+	b0, _, ok0 := p.Select(0, noneCached)
+	b1, _, ok1 := p.Select(1, noneCached)
+	if !ok0 || !ok1 {
+		t.Fatal("local Select failed")
+	}
+	if b0 == b1 {
+		t.Fatal("different nodes selected the same block in a disjoint pattern")
+	}
+	if b0 != pat.Local[0][0] || b1 != pat.Local[1][0] {
+		t.Fatalf("nodes selected %d,%d, want own first blocks %d,%d",
+			b0, b1, pat.Local[0][0], pat.Local[1][0])
+	}
+	// Demand progress on node 0 must not affect node 1.
+	p.NoteDemand(0, 0)
+	if p.NextDemand(1) != 0 {
+		t.Fatal("demand leaked across local nodes")
+	}
+}
+
+func TestGlobalSharedCursor(t *testing.T) {
+	p := NewPolicy(smallGW(10), 0)
+	p.NoteDemand(3, 4) // any node updates the shared cursor
+	if p.NextDemand(0) != 5 {
+		t.Fatalf("shared cursor = %d, want 5", p.NextDemand(0))
+	}
+}
+
+func TestNoteDemandMonotone(t *testing.T) {
+	p := NewPolicy(smallGW(10), 0)
+	p.NoteDemand(0, 5)
+	p.NoteDemand(0, 2) // out-of-order claims must not move the cursor back
+	if p.NextDemand(0) != 6 {
+		t.Fatalf("cursor = %d, want 6", p.NextDemand(0))
+	}
+}
+
+func TestNoteDemandPanicsOutOfRange(t *testing.T) {
+	p := NewPolicy(smallGW(5), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range NoteDemand did not panic")
+		}
+	}()
+	p.NoteDemand(0, 5)
+}
+
+func TestNewPolicyPanicsOnNegativeLead(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative lead did not panic")
+		}
+	}()
+	NewPolicy(smallGW(5), -1)
+}
+
+func TestLeadAccessor(t *testing.T) {
+	if NewPolicy(smallGW(5), 7).Lead() != 7 {
+		t.Fatal("Lead accessor wrong")
+	}
+}
+
+func TestLRPHorizonPerProcess(t *testing.T) {
+	cfg := pattern.Defaults(pattern.LRP)
+	cfg.Procs = 2
+	cfg.BlocksPerProc = 30
+	pat := pattern.MustGenerate(cfg)
+	p := NewPolicy(pat, 0)
+	// For each proc, with nothing cached, the first candidate is its own
+	// first block, and with the whole first portion cached there is no
+	// candidate (portion horizon).
+	for proc := 0; proc < 2; proc++ {
+		block, _, ok := p.Select(proc, noneCached)
+		if !ok || block != pat.Local[proc][0] {
+			t.Fatalf("proc %d first candidate = %d,%v", proc, block, ok)
+		}
+		first := pat.LocalPortions[proc][0]
+		if _, _, ok := p.Select(proc, cachedBelowIdx(pat.Local[proc], first.Len)); ok {
+			t.Fatalf("proc %d prefetched past its portion horizon", proc)
+		}
+	}
+}

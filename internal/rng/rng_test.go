@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1, 0)
+	b := New(2, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := New(1, 0)
+	b := New(1, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different streams produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(9, 0)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first draw")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3, 0)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(4, 0)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1, 0).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(5, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(4, 16)
+		if v < 4 || v > 16 {
+			t.Fatalf("IntRange(4,16) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 13 {
+		t.Fatalf("IntRange(4,16) hit %d distinct values, want 13", len(seen))
+	}
+}
+
+func TestIntRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntRange(5,4) did not panic")
+		}
+	}()
+	New(1, 0).IntRange(5, 4)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(6, 0)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(7, 0)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMeanAndNonNegative(t *testing.T) {
+	s := New(8, 0)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(30)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-30) > 0.5 {
+		t.Fatalf("Exp(30) sample mean = %v", mean)
+	}
+}
+
+func TestExpZeroMean(t *testing.T) {
+	s := New(9, 0)
+	if v := s.Exp(0); v != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", v)
+	}
+	if v := s.Exp(-5); v != 0 {
+		t.Fatalf("Exp(-5) = %v, want 0", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10, 0)
+	check := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := s.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(11, 0)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(12, 0)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) rate = %v", p)
+	}
+}
+
+func TestUint32NotConstant(t *testing.T) {
+	s := New(13, 0)
+	first := s.Uint32()
+	for i := 0; i < 10; i++ {
+		if s.Uint32() != first {
+			return
+		}
+	}
+	t.Fatal("Uint32 returned constant stream")
+}

@@ -1,0 +1,82 @@
+package sim
+
+// Event is a one-shot occurrence in virtual time that processes can wait
+// on: the completion of an I/O, the release of a barrier, and so on.
+// Once fired it stays fired, and remembers when it fired — which is what
+// lets callers compute quantities like the paper's hit-wait time and
+// prefetch overrun. The zero value is an unfired event, but an Event
+// must be associated with a kernel before use; use NewEvent.
+type Event struct {
+	k       *Kernel
+	fired   bool
+	firedAt Time
+	waiters []*Proc
+	onFire  []func()
+}
+
+// NewEvent returns an unfired event on kernel k.
+func NewEvent(k *Kernel) *Event {
+	return &Event{k: k}
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// FiredAt returns the instant the event fired. It panics if the event has
+// not fired.
+func (e *Event) FiredAt() Time {
+	if !e.fired {
+		panic("sim: FiredAt on unfired event")
+	}
+	return e.firedAt
+}
+
+// Fire marks the event as having occurred now and schedules every waiter
+// to resume at the current instant. Firing an already-fired event panics:
+// events are one-shot by design, and double-firing always indicates a
+// bookkeeping bug in the caller.
+func (e *Event) Fire() {
+	if e.fired {
+		panic("sim: event fired twice")
+	}
+	e.fired = true
+	e.firedAt = e.k.now
+	// Callbacks run synchronously, before any waiter resumes, so state
+	// transitions they perform (e.g. a cache buffer becoming Ready) are
+	// visible to every waiter.
+	for _, fn := range e.onFire {
+		fn()
+	}
+	e.onFire = nil
+	for _, p := range e.waiters {
+		proc := p
+		e.k.After(0, func() { e.k.step(proc) })
+	}
+	e.waiters = nil
+}
+
+// OnFire registers fn to run, in kernel context, at the moment the
+// event fires — before any waiting process resumes. If the event has
+// already fired, fn runs immediately.
+func (e *Event) OnFire(fn func()) {
+	if e.fired {
+		fn()
+		return
+	}
+	e.onFire = append(e.onFire, fn)
+}
+
+// Wait blocks the process until the event fires and returns how long the
+// process actually waited (zero if the event had already fired).
+func (e *Event) Wait(p *Proc) Duration {
+	if e.fired {
+		return 0
+	}
+	start := p.k.now
+	e.waiters = append(e.waiters, p)
+	p.park()
+	return p.k.now.Sub(start)
+}
+
+// Waiters reports how many processes are currently blocked on the event.
+func (e *Event) Waiters() int { return len(e.waiters) }

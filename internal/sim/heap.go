@@ -1,0 +1,72 @@
+package sim
+
+// event is a scheduled callback. Events with equal times fire in the
+// order they were scheduled (seq breaks ties), which keeps the kernel
+// fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than using container/heap to avoid interface boxing on the
+// hottest path in the simulator.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// peekTime reports the time of the earliest event. It must not be called
+// on an empty heap.
+func (h *eventHeap) peekTime() Time { return h.items[0].at }

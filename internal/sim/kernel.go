@@ -1,0 +1,162 @@
+package sim
+
+import "fmt"
+
+// Kernel is a discrete-event simulation kernel. Create one with NewKernel,
+// spawn processes with Spawn, then call Run. The zero value is not usable.
+//
+// The kernel is strictly sequential: although each process runs on its own
+// goroutine, control is handed off synchronously so that exactly one
+// goroutine (a process or the kernel loop) is ever runnable. All state
+// reachable from process code may therefore be used without locks.
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	procs   []*Proc
+	running bool
+	active  int // live (not yet finished) processes
+	blocked int // live processes not currently scheduled or waiting on an Event with a deadline
+}
+
+// NewKernel returns a kernel with the clock at time zero and no pending
+// events.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule arranges for fn to be called at instant at (which must not be
+// in the past). Callbacks run in kernel context: they must not block, but
+// may schedule further events, fire Events, and wake processes.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", at, k.now))
+	}
+	k.seq++
+	k.heap.push(event{at: at, seq: k.seq, fn: fn})
+}
+
+// After arranges for fn to be called d from now.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.Schedule(k.now.Add(d), fn)
+}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically with all other processes by the kernel. All Proc
+// methods must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Name returns the name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process that will begin executing fn at time `at`.
+// Spawn may be called before Run, or from process/callback context during
+// the run.
+func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.active++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		k.active--
+		p.yield <- struct{}{}
+	}()
+	k.Schedule(at, func() { k.step(p) })
+	return p
+}
+
+// step transfers control to p until it blocks again. Kernel context only.
+func (k *Kernel) step(p *Proc) {
+	if p.done {
+		panic("sim: waking a finished process " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park returns control to the kernel until something re-schedules this
+// process via k.step. Process context only.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Advance blocks the process for d of virtual time.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.After(d, func() { p.k.step(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting every
+// other event due now run first.
+func (p *Proc) Yield() {
+	p.k.After(0, func() { p.k.step(p) })
+	p.park()
+}
+
+// Run executes events until the heap is exhausted. It panics on deadlock:
+// live processes remaining with no pending events.
+func (k *Kernel) Run() {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.heap.len() > 0 {
+		e := k.heap.pop()
+		k.now = e.at
+		e.fn()
+	}
+	if k.active > 0 {
+		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked with no pending events", k.active))
+	}
+}
+
+// RunUntil executes events with times <= deadline and then stops,
+// leaving the clock at the last executed event (or deadline if nothing
+// ran past it). Remaining events stay queued; Run or RunUntil may be
+// called again. It reports whether any events remain.
+func (k *Kernel) RunUntil(deadline Time) bool {
+	if k.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.heap.len() > 0 && k.heap.peekTime() <= deadline {
+		e := k.heap.pop()
+		k.now = e.at
+		e.fn()
+	}
+	return k.heap.len() > 0
+}

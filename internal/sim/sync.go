@@ -1,0 +1,93 @@
+package sim
+
+// WaitQueue is a FIFO queue of blocked processes. Unlike Event it is
+// reusable: processes join with Sleep and are released one at a time
+// (WakeOne) or all at once (WakeAll). It is the building block for
+// semaphores, buffer-availability waits, and similar multi-shot
+// conditions.
+type WaitQueue struct {
+	k     *Kernel
+	procs []*Proc
+}
+
+// NewWaitQueue returns an empty wait queue on kernel k.
+func NewWaitQueue(k *Kernel) *WaitQueue {
+	return &WaitQueue{k: k}
+}
+
+// Len reports how many processes are blocked on the queue.
+func (q *WaitQueue) Len() int { return len(q.procs) }
+
+// Sleep blocks the process until it is woken, returning the time spent
+// blocked.
+func (q *WaitQueue) Sleep(p *Proc) Duration {
+	start := p.k.now
+	q.procs = append(q.procs, p)
+	p.park()
+	return p.k.now.Sub(start)
+}
+
+// WakeOne releases the longest-waiting process, if any, and reports
+// whether one was released.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.procs) == 0 {
+		return false
+	}
+	p := q.procs[0]
+	q.procs = q.procs[1:]
+	q.k.After(0, func() { q.k.step(p) })
+	return true
+}
+
+// WakeAll releases every blocked process in FIFO order.
+func (q *WaitQueue) WakeAll() {
+	for _, p := range q.procs {
+		proc := p
+		q.k.After(0, func() { q.k.step(proc) })
+	}
+	q.procs = nil
+}
+
+// Semaphore is a counting semaphore in virtual time.
+type Semaphore struct {
+	count int
+	queue *WaitQueue
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, count int) *Semaphore {
+	if count < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{count: count, queue: NewWaitQueue(k)}
+}
+
+// Count returns the number of currently available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Acquire takes one unit, blocking the process until one is available,
+// and returns the time spent blocked.
+func (s *Semaphore) Acquire(p *Proc) Duration {
+	var waited Duration
+	for s.count == 0 {
+		waited += s.queue.Sleep(p)
+	}
+	s.count--
+	return waited
+}
+
+// TryAcquire takes one unit without blocking and reports whether it
+// succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns one unit and wakes one waiter, if any.
+func (s *Semaphore) Release() {
+	s.count++
+	s.queue.WakeOne()
+}

@@ -1,0 +1,194 @@
+// Package trace records the exact file access pattern of a run for
+// off-line analysis, as the paper's testbed does (§IV-C), and implements
+// the analyses that motivate its pattern taxonomy: how sequential the
+// merged (global) request stream is, how long the per-process sequential
+// runs are, and how the accesses break down by outcome.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Recorder accumulates trace events from a run. Install its Hook as
+// core.Config.Trace.
+type Recorder struct {
+	events []core.Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hook returns the callback to install as core.Config.Trace.
+func (r *Recorder) Hook() func(core.Event) {
+	return func(ev core.Event) { r.events = append(r.events, ev) }
+}
+
+// Events returns the recorded events in order. The caller must not
+// modify the returned slice.
+func (r *Recorder) Events() []core.Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteTo serializes the trace as one line per event:
+// time_us node kind block index.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, ev := range r.events {
+		c, err := fmt.Fprintf(bw, "%d %d %s %d %d\n", int64(ev.T), ev.Node, ev.Kind, ev.Block, ev.Index)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// kindByName maps the serialized names back to event kinds.
+var kindByName = func() map[string]core.EventKind {
+	m := map[string]core.EventKind{}
+	for k := core.EvReadStart; k <= core.EvSyncRelease; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// Read parses a trace written by WriteTo.
+func Read(rd io.Reader) (*Recorder, error) {
+	r := NewRecorder()
+	scanner := bufio.NewScanner(rd)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+		}
+		t, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %w", line, err)
+		}
+		node, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node: %w", line, err)
+		}
+		kind, ok := kindByName[fields[2]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, fields[2])
+		}
+		block, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad block: %w", line, err)
+		}
+		index, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad index: %w", line, err)
+		}
+		r.events = append(r.events, core.Event{
+			T: sim.Time(t), Node: node, Kind: kind, Block: block, Index: index,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Analysis is the off-line summary of a recorded access pattern.
+type Analysis struct {
+	// Event counts.
+	Reads       int
+	ReadyHits   int
+	UnreadyHits int
+	DemandFetch int
+	Prefetches  int
+	// GlobalSequentiality is the fraction of successive read requests
+	// (merged over all processes, in time order) whose block is exactly
+	// one past the previous request's block — the paper's "roughly
+	// sequential from a global perspective".
+	GlobalSequentiality float64
+	// LocalRunLength summarizes, per process, the lengths of maximal
+	// strictly consecutive block runs (local sequentiality).
+	LocalRunLength metrics.Summary
+	// InterRequest summarizes times between successive read requests,
+	// ms.
+	InterRequest metrics.Summary
+	// PerNodeReads counts read requests by node.
+	PerNodeReads map[int]int
+}
+
+// Analyze computes the off-line analysis of a trace.
+func Analyze(events []core.Event) *Analysis {
+	a := &Analysis{PerNodeReads: map[int]int{}}
+	prevBlock := -2 // nothing is consecutive with the first request
+	var prevT sim.Time
+	seqPairs, pairs := 0, 0
+	runLen := map[int]int{}
+	lastNodeBlock := map[int]int{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EvReadStart:
+			a.Reads++
+			a.PerNodeReads[ev.Node]++
+			if pairs > 0 || prevBlock != -2 {
+				pairs++
+				if ev.Block == prevBlock+1 {
+					seqPairs++
+				}
+				a.InterRequest.Add(ev.T.Sub(prevT).Millis())
+			}
+			prevBlock = ev.Block
+			prevT = ev.T
+			if last, ok := lastNodeBlock[ev.Node]; ok && ev.Block == last+1 {
+				runLen[ev.Node]++
+			} else {
+				if n := runLen[ev.Node]; n > 0 {
+					a.LocalRunLength.Add(float64(n))
+				}
+				runLen[ev.Node] = 1
+			}
+			lastNodeBlock[ev.Node] = ev.Block
+		case core.EvReadyHit:
+			a.ReadyHits++
+		case core.EvUnreadyHit:
+			a.UnreadyHits++
+		case core.EvDemandFetch:
+			a.DemandFetch++
+		case core.EvPrefetchIssue:
+			a.Prefetches++
+		}
+	}
+	for _, n := range runLen {
+		if n > 0 {
+			a.LocalRunLength.Add(float64(n))
+		}
+	}
+	if pairs > 0 {
+		a.GlobalSequentiality = float64(seqPairs) / float64(pairs)
+	}
+	return a
+}
+
+// String renders the analysis.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reads=%d demand=%d prefetched=%d ready-hits=%d unready-hits=%d\n",
+		a.Reads, a.DemandFetch, a.Prefetches, a.ReadyHits, a.UnreadyHits)
+	fmt.Fprintf(&b, "global sequentiality %.3f, mean local run %.1f blocks, mean inter-request %.2f ms\n",
+		a.GlobalSequentiality, a.LocalRunLength.Mean(), a.InterRequest.Mean())
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+)
+
+func recordedRun(t *testing.T, kind pattern.Kind, prefetch bool) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	cfg := core.DefaultConfig(kind)
+	cfg.Procs = 4
+	cfg.Disks = 4
+	cfg.Pattern.Procs = 4
+	cfg.Pattern.TotalBlocks = 80
+	cfg.Pattern.BlocksPerProc = 20
+	cfg.Prefetch = prefetch
+	cfg.Trace = rec.Hook()
+	core.MustRun(cfg)
+	return rec
+}
+
+func TestRecorderCollects(t *testing.T) {
+	rec := recordedRun(t, pattern.GW, true)
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(rec.Events()) != rec.Len() {
+		t.Fatal("Events/Len mismatch")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rec := recordedRun(t, pattern.GW, true)
+	var buf bytes.Buffer
+	n, err := rec.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rec.Len() {
+		t.Fatalf("round trip lost events: %d -> %d", rec.Len(), back.Len())
+	}
+	for i, ev := range back.Events() {
+		if ev != rec.Events()[i] {
+			t.Fatalf("event %d mismatch: %+v != %+v", i, ev, rec.Events()[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1 2 read-start 3",   // too few fields
+		"x 2 read-start 3 4", // bad time
+		"1 x read-start 3 4", // bad node
+		"1 2 not-a-kind 3 4", // bad kind
+		"1 2 read-start x 4", // bad block
+		"1 2 read-start 3 x", // bad index
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read accepted %q", c)
+		}
+	}
+	// Blank lines are fine.
+	r, err := Read(strings.NewReader("\n\n1 2 read-start 3 4\n\n"))
+	if err != nil || r.Len() != 1 {
+		t.Fatalf("blank-line handling: %v, %d", err, r.Len())
+	}
+}
+
+func TestAnalyzeGWSequentiality(t *testing.T) {
+	rec := recordedRun(t, pattern.GW, false)
+	a := Analyze(rec.Events())
+	if a.Reads != 80 {
+		t.Fatalf("reads = %d", a.Reads)
+	}
+	if a.DemandFetch != 80 {
+		t.Fatalf("demand = %d", a.DemandFetch)
+	}
+	// gw: the global stream is claimed in order, so the merged request
+	// stream is (almost) perfectly sequential.
+	if a.GlobalSequentiality < 0.95 {
+		t.Fatalf("gw global sequentiality = %v", a.GlobalSequentiality)
+	}
+	if len(a.PerNodeReads) != 4 {
+		t.Fatalf("per-node reads: %v", a.PerNodeReads)
+	}
+	total := 0
+	for _, n := range a.PerNodeReads {
+		total += n
+	}
+	if total != 80 {
+		t.Fatalf("per-node sum = %d", total)
+	}
+}
+
+func TestAnalyzeLWLocality(t *testing.T) {
+	rec := recordedRun(t, pattern.LW, false)
+	a := Analyze(rec.Events())
+	// Each of 4 processes reads all 20 blocks sequentially: long local
+	// runs.
+	if a.LocalRunLength.Mean() < 5 {
+		t.Fatalf("lw mean local run = %v", a.LocalRunLength.Mean())
+	}
+	// But the merged stream interleaves 4 processes: low global
+	// sequentiality.
+	if a.GlobalSequentiality > 0.7 {
+		t.Fatalf("lw global sequentiality = %v unexpectedly high", a.GlobalSequentiality)
+	}
+	if a.ReadyHits+a.UnreadyHits+a.DemandFetch != a.Reads {
+		t.Fatal("outcome counts do not sum to reads")
+	}
+}
+
+func TestAnalyzePrefetchCounts(t *testing.T) {
+	rec := recordedRun(t, pattern.GW, true)
+	a := Analyze(rec.Events())
+	if a.Prefetches == 0 {
+		t.Fatal("no prefetches in prefetching run")
+	}
+	if a.Prefetches+a.DemandFetch != 80 {
+		t.Fatalf("fetches = %d + %d, want 80", a.Prefetches, a.DemandFetch)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Reads != 0 || a.GlobalSequentiality != 0 {
+		t.Fatal("empty analysis not zero")
+	}
+	if s := a.String(); !strings.Contains(s, "reads=0") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	rec := recordedRun(t, pattern.GW, true)
+	s := Analyze(rec.Events()).String()
+	if !strings.Contains(s, "global sequentiality") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,98 @@
+package rapid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := DefaultConfig(GW)
+	cfg.Procs = 4
+	cfg.Disks = 4
+	cfg.Pattern.Procs = 4
+	cfg.Pattern.TotalBlocks = 80
+	base := MustRun(cfg)
+	cfg.Prefetch = true
+	pf := MustRun(cfg)
+	if pf.ReadTime.Mean() >= base.ReadTime.Mean() {
+		t.Fatal("prefetching did not improve read time")
+	}
+	if !strings.Contains(pf.String(), "hit ratio") {
+		t.Fatal("result string malformed")
+	}
+}
+
+func TestRunReturnsConfigError(t *testing.T) {
+	cfg := DefaultConfig(GW)
+	cfg.Procs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	kind, err := ParsePatternKind("gw")
+	if err != nil || kind != GW {
+		t.Fatalf("ParsePatternKind: %v %v", kind, err)
+	}
+	style, err := ParseSyncStyle("each")
+	if err != nil || style != SyncEveryNEach {
+		t.Fatalf("ParseSyncStyle: %v %v", style, err)
+	}
+	if len(PatternKinds) != 6 || len(SyncStyles) != 4 {
+		t.Fatal("enumerations wrong")
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Millis(30) != 30*Millisecond {
+		t.Fatal("Millis wrong")
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit constants wrong")
+	}
+	if PercentReduction(100, 75) != 25 {
+		t.Fatal("PercentReduction wrong")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	cfg := DefaultPattern(LW)
+	cfg.Procs = 2
+	cfg.BlocksPerProc = 10
+	p, err := GeneratePattern(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalReads() != 20 {
+		t.Fatalf("reads = %d", p.TotalReads())
+	}
+}
+
+func TestSuiteAtTinyScale(t *testing.T) {
+	opts := TestScale()
+	opts.Procs = 4
+	opts.TotalBlocks = 80
+	opts.BlocksPerProc = 20
+	opts.LeadLocalReads = 80
+	s := RunSuite(opts)
+	if len(s.Pairs) != 46 {
+		t.Fatalf("pairs = %d", len(s.Pairs))
+	}
+	fig := s.Fig8TotalTime()
+	out := fig.Render(RenderOptions{Width: 40, Height: 12})
+	if !strings.Contains(out, "Fig. 8") {
+		t.Fatalf("render: %q", out)
+	}
+	sum := s.Summarize()
+	if sum.Experiments != 46 {
+		t.Fatalf("summary experiments = %d", sum.Experiments)
+	}
+}
+
+func TestFig1MotivationExported(t *testing.T) {
+	m := Fig1Motivation(1)
+	if m.Report == "" {
+		t.Fatal("empty motivation report")
+	}
+}
