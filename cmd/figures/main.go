@@ -19,11 +19,12 @@ var renderOpts rapid.RenderOptions
 
 func main() {
 	var (
-		figArg = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, or all")
-		scale  = flag.String("scale", "paper", "experiment scale: paper or test")
-		width  = flag.Int("w", 64, "plot width")
-		height = flag.Int("h", 20, "plot height")
-		csv    = flag.Bool("csv", false, "print CSV data instead of ASCII plots")
+		figArg  = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, or all")
+		scale   = flag.String("scale", "paper", "experiment scale: paper or test")
+		width   = flag.Int("w", 64, "plot width")
+		height  = flag.Int("h", 20, "plot height")
+		csv     = flag.Bool("csv", false, "print CSV data instead of ASCII plots")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	renderOpts = rapid.RenderOptions{Width: *width, Height: *height}
@@ -37,6 +38,7 @@ func main() {
 	default:
 		fatalf("unknown scale %q", *scale)
 	}
+	opts.Workers = *workers
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*figArg, ",") {

@@ -7,14 +7,31 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	rapid "repro"
+	"repro/internal/experiment"
 )
 
 func main() {
-	var scale = flag.String("scale", "paper", "experiment scale: paper or test")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it returns the process exit code
+// instead of calling os.Exit, so the claim-failure exit path has a unit
+// test. 0 = all claims pass, 1 = at least one claim failed, 2 = usage
+// error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale   = fs.String("scale", "paper", "experiment scale: paper or test")
+		workers = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	var opts rapid.SuiteOptions
 	switch *scale {
 	case "paper":
@@ -22,13 +39,21 @@ func main() {
 	case "test":
 		opts = rapid.TestScale()
 	default:
-		fmt.Fprintf(os.Stderr, "report: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "report: unknown scale %q\n", *scale)
+		return 2
 	}
-	fmt.Printf("checking the paper's claims at %s scale (deterministic, seed %d)...\n\n", *scale, opts.Seed)
-	v := rapid.VerifyClaims(opts)
-	fmt.Print(v.Report())
+	opts.Workers = *workers
+	fmt.Fprintf(stdout, "checking the paper's claims at %s scale (deterministic, seed %d)...\n\n", *scale, opts.Seed)
+	return verdict(rapid.VerifyClaims(opts), stdout, stderr)
+}
+
+// verdict renders the verification and converts it to an exit code: a
+// single failing claim makes the whole audit fail.
+func verdict(v *experiment.Verification, stdout, stderr io.Writer) int {
+	fmt.Fprint(stdout, v.Report())
 	if failed := v.Failed(); len(failed) > 0 {
-		os.Exit(1)
+		fmt.Fprintf(stderr, "report: %d of %d claims FAILED\n", len(failed), len(v.Claims))
+		return 1
 	}
+	return 0
 }

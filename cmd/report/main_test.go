@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestVerdictExitCodes pins the audit's exit-code contract: any failing
+// claim makes the process exit non-zero, so CI can gate on
+// `go run ./cmd/report`.
+func TestVerdictExitCodes(t *testing.T) {
+	t.Parallel()
+	pass := &experiment.Verification{Claims: []experiment.Claim{
+		{ID: "a", Paper: "p", Measured: "m", Pass: true},
+		{ID: "b", Paper: "p", Measured: "m", Pass: true},
+	}}
+	var out, errw strings.Builder
+	if code := verdict(pass, &out, &errw); code != 0 {
+		t.Fatalf("all-pass verdict exit = %d, want 0", code)
+	}
+	if errw.Len() != 0 {
+		t.Fatalf("all-pass verdict wrote to stderr: %q", errw.String())
+	}
+
+	fail := &experiment.Verification{Claims: []experiment.Claim{
+		{ID: "a", Paper: "p", Measured: "m", Pass: true},
+		{ID: "b", Paper: "p", Measured: "m", Pass: false},
+	}}
+	out.Reset()
+	errw.Reset()
+	if code := verdict(fail, &out, &errw); code != 1 {
+		t.Fatalf("failing verdict exit = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "1 of 2 claims FAILED") {
+		t.Fatalf("failing verdict stderr = %q", errw.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report table lacks FAIL row:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	t.Parallel()
+	var out, errw strings.Builder
+	if code := run([]string{"-scale=bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown scale exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown scale") {
+		t.Fatalf("stderr = %q", errw.String())
+	}
+	if code := run([]string{"-nonsense"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+// TestRunTestScaleAudit runs the full audit end-to-end at test scale
+// with a parallel pool; every claim holds there too, so the exit code
+// is 0 and the exit path for success is exercised with real data.
+func TestRunTestScaleAudit(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full audit skipped in -short mode")
+	}
+	var out, errw strings.Builder
+	code := run([]string{"-scale=test", "-workers=4"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("test-scale audit exit = %d, stderr:\n%s\nstdout:\n%s", code, errw.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "23 of 23 claims hold") {
+		t.Fatalf("audit output missing verdict line:\n%s", out.String())
+	}
+}

@@ -16,8 +16,10 @@ import (
 
 func main() {
 	var (
-		scale  = flag.String("scale", "paper", "experiment scale: paper or test")
-		csvDir = flag.String("csv", "", "directory to write per-figure CSV data")
+		scale    = flag.String("scale", "paper", "experiment scale: paper or test")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV data")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "report run completions to stderr")
 	)
 	flag.Parse()
 
@@ -30,6 +32,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "suite: unknown scale %q\n", *scale)
 		os.Exit(1)
+	}
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rrun %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
 	fmt.Printf("running %d experiment pairs at %s scale...\n\n", 46, *scale)

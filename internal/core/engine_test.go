@@ -98,6 +98,7 @@ func TestIdleKindAndEventKindStrings(t *testing.T) {
 }
 
 func TestGWNoPrefetchAllMisses(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.GW, 4, 80)
 	cfg.ComputeMean = 0
 	r := MustRun(cfg)
@@ -122,6 +123,7 @@ func TestGWNoPrefetchAllMisses(t *testing.T) {
 }
 
 func TestGWPrefetchImprovesEverything(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.GW, 4, 200)
 	base := MustRun(cfg)
 	cfg.Prefetch = true
@@ -147,6 +149,7 @@ func TestGWPrefetchImprovesEverything(t *testing.T) {
 }
 
 func TestLWInterprocessLocality(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.LW, 4, 50)
 	cfg.ComputeMean = 10 * sim.Millisecond
 	base := MustRun(cfg)
@@ -169,6 +172,7 @@ func TestLWInterprocessLocality(t *testing.T) {
 }
 
 func TestSyncStylesRun(t *testing.T) {
+	t.Parallel()
 	for _, kind := range pattern.Kinds {
 		for _, style := range barrier.Styles {
 			if kind == pattern.LW && style == barrier.PerPortion {
@@ -206,6 +210,7 @@ func TestSyncStylesRun(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() string {
 		cfg := smallConfig(pattern.GRP, 4, 100)
 		cfg.Sync = barrier.EveryNPerProc
@@ -221,6 +226,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestSeedChangesComputeDraws(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.GW, 4, 100)
 	cfg.ComputeMean = 20 * sim.Millisecond
 	a := MustRun(cfg)
@@ -232,6 +238,7 @@ func TestSeedChangesComputeDraws(t *testing.T) {
 }
 
 func TestTraceEventsEmitted(t *testing.T) {
+	t.Parallel()
 	var events []Event
 	cfg := smallConfig(pattern.GW, 2, 20)
 	cfg.Prefetch = true
@@ -263,6 +270,7 @@ func TestTraceEventsEmitted(t *testing.T) {
 }
 
 func TestPrefetchLeadReducesHitWaitRaisesMisses(t *testing.T) {
+	t.Parallel()
 	mk := func(lead int) *Result {
 		cfg := smallConfig(pattern.GW, 4, 200)
 		cfg.Prefetch = true
@@ -277,6 +285,7 @@ func TestPrefetchLeadReducesHitWaitRaisesMisses(t *testing.T) {
 }
 
 func TestMinPrefetchTimeReducesActions(t *testing.T) {
+	t.Parallel()
 	mk := func(mpt sim.Duration) *Result {
 		cfg := smallConfig(pattern.GW, 4, 200)
 		cfg.Prefetch = true
@@ -294,6 +303,7 @@ func TestMinPrefetchTimeReducesActions(t *testing.T) {
 }
 
 func TestPerNodePrefetchLimit(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.LFP, 4, 60)
 	cfg.Prefetch = true
 	cfg.PerNodePrefetchLimit = true
@@ -304,6 +314,7 @@ func TestPerNodePrefetchLimit(t *testing.T) {
 }
 
 func TestRUSetSizeLargerThanOne(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.GW, 4, 80)
 	cfg.RUSetSize = 3
 	r := MustRun(cfg)
@@ -342,6 +353,7 @@ func TestNormalizedTotalMillis(t *testing.T) {
 }
 
 func TestPerProcAccounting(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.LFP, 4, 40)
 	cfg.Prefetch = true
 	r := MustRun(cfg)
@@ -373,6 +385,7 @@ func TestMustRunPanicsOnBadConfig(t *testing.T) {
 }
 
 func TestHitWaitBounded(t *testing.T) {
+	t.Parallel()
 	cfg := smallConfig(pattern.GW, 4, 200)
 	cfg.Prefetch = true
 	r := MustRun(cfg)
@@ -384,6 +397,7 @@ func TestHitWaitBounded(t *testing.T) {
 }
 
 func TestReadyPlusUnreadyPlusMissesEqualsReads(t *testing.T) {
+	t.Parallel()
 	for _, kind := range pattern.Kinds {
 		cfg := smallConfig(kind, 4, 60)
 		cfg.Prefetch = true
@@ -399,6 +413,7 @@ func TestReadyPlusUnreadyPlusMissesEqualsReads(t *testing.T) {
 }
 
 func TestPredictorModes(t *testing.T) {
+	t.Parallel()
 	for _, pk := range []predict.Kind{predict.OBL, predict.SEQ, predict.GAPS} {
 		cfg := smallConfig(pattern.GW, 4, 200)
 		cfg.Prefetch = true
@@ -419,6 +434,7 @@ func TestPredictorModes(t *testing.T) {
 }
 
 func TestPredictorMispredictionsEvicted(t *testing.T) {
+	t.Parallel()
 	// lfp has portion gaps, so OBL overshoots at each portion end.
 	cfg := smallConfig(pattern.LFP, 4, 60)
 	cfg.Prefetch = true

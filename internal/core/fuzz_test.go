@@ -19,6 +19,7 @@ import (
 // all reads complete, access outcomes partition the reads, fetch counts
 // are consistent, and the run is deterministic.
 func TestConfigSpaceFuzz(t *testing.T) {
+	t.Parallel()
 	check := fuzzCheck(t)
 	// A fixed generator keeps the explored configuration set (and thus
 	// the test's runtime) reproducible; the space is still broad.
@@ -128,6 +129,7 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 // TestFuzzSeeds replays a few fixed corner configurations that once
 // regressed or are structurally extreme.
 func TestFuzzSeeds(t *testing.T) {
+	t.Parallel()
 	cases := []func(*Config){
 		// One disk for everything: maximal disk contention.
 		func(c *Config) { c.Disks = 1 },
@@ -180,6 +182,7 @@ func TestFuzzSeeds(t *testing.T) {
 // is opt-in (RAPID_SOAK=1) because it runs several hundred full
 // simulations.
 func TestConfigSpaceSoak(t *testing.T) {
+	t.Parallel()
 	if os.Getenv("RAPID_SOAK") == "" {
 		t.Skip("set RAPID_SOAK=1 to run the fuzz soak")
 	}

@@ -61,10 +61,13 @@ func (v *Verification) Report() string {
 }
 
 // Verify runs the paper's experiments at the given scale and checks
-// every §V claim. All runs are deterministic, so the outcome is stable
-// for a given Options value. The thresholds encode the paper's numbers
-// with modest tolerance for the simulated substrate; they are intended
-// for PaperScale.
+// every §V claim. Each sub-study (the factorial suite and the four
+// sweeps) submits its runs to the shared worker pool, so verification
+// uses every core; because the pool collects results in submission
+// order and every run is deterministic, the verdicts are identical for
+// any opts.Workers value — the serial-equivalence test locks this in.
+// The thresholds encode the paper's numbers with modest tolerance for
+// the simulated substrate; they are intended for PaperScale.
 func Verify(opts Options) *Verification {
 	v := &Verification{}
 	add := func(id, paper, measured string, pass bool) {

@@ -8,6 +8,7 @@ import (
 // TestVerifyMechanics checks the verifier machinery at test scale (some
 // paper-scale thresholds may legitimately fail at a tenth of the size).
 func TestVerifyMechanics(t *testing.T) {
+	t.Parallel()
 	v := Verify(TestScale())
 	if len(v.Claims) != 23 {
 		t.Fatalf("claims = %d, want 23", len(v.Claims))
@@ -34,6 +35,7 @@ func TestVerifyMechanics(t *testing.T) {
 // TestVerifyPaperScale is the full reproduction gate: every claim of the
 // paper's §V text must hold at the paper's scale. Deterministic, ~5 s.
 func TestVerifyPaperScale(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("paper-scale verification skipped in -short mode")
 	}

@@ -53,12 +53,18 @@ func ScalabilitySweep(opts Options, sizes []int) *ScalabilityResult {
 	np := r.TotalTime.AddSeries("no prefetch", 'N')
 	imp := r.Improvement.AddSeries("gw", 'o')
 	act := r.ActionTime.AddSeries("gw", 'o')
+	var cfgs []core.Config
 	for _, n := range sizes {
 		scaled := opts
 		scaled.Procs = n
 		scaled.TotalBlocks = 100 * n
-		base := core.MustRun(scaled.Config(pattern.GW, barrier.EveryNPerProc, false, false))
-		run := core.MustRun(scaled.Config(pattern.GW, barrier.EveryNPerProc, false, true))
+		cfgs = append(cfgs,
+			scaled.Config(pattern.GW, barrier.EveryNPerProc, false, false),
+			scaled.Config(pattern.GW, barrier.EveryNPerProc, false, true))
+	}
+	results := runAll(opts, cfgs)
+	for i, n := range sizes {
+		base, run := results[2*i], results[2*i+1]
 		x := float64(n)
 		np.Add(x, base.TotalTimeMillis())
 		pf.Add(x, run.TotalTimeMillis())
@@ -94,13 +100,22 @@ type LayoutStudy struct {
 // 20 ms (a full stroke), atop the paper's 30 ms access.
 func RunLayoutStudy(opts Options) *LayoutStudy {
 	study := &LayoutStudy{}
+	var cfgs []core.Config
 	for _, strat := range interleave.Strategies {
 		for _, prefetch := range []bool{false, true} {
 			cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, false, prefetch)
 			cfg.Layout = strat
 			cfg.DiskSeekPerBlock = 100 * sim.Microsecond
 			cfg.DiskMaxSeek = 20 * sim.Millisecond
-			r := core.MustRun(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(opts, cfgs)
+	i := 0
+	for _, strat := range interleave.Strategies {
+		for _, prefetch := range []bool{false, true} {
+			r := results[i]
+			i++
 			study.Rows = append(study.Rows, LayoutRow{
 				Strategy:     strat,
 				Prefetch:     prefetch,
@@ -162,13 +177,18 @@ type SchedStudy struct {
 // placement and a 0.1 ms/block (20 ms cap) seek model.
 func RunSchedStudy(opts Options) *SchedStudy {
 	study := &SchedStudy{}
-	for _, policy := range disk.SchedPolicies {
+	cfgs := make([]core.Config, len(disk.SchedPolicies))
+	for i, policy := range disk.SchedPolicies {
 		cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, false, true)
 		cfg.Layout = interleave.Hashed
 		cfg.DiskSeekPerBlock = 100 * sim.Microsecond
 		cfg.DiskMaxSeek = 20 * sim.Millisecond
 		cfg.DiskSched = policy
-		r := core.MustRun(cfg)
+		cfgs[i] = cfg
+	}
+	results := runAll(opts, cfgs)
+	for i, policy := range disk.SchedPolicies {
+		r := results[i]
 		study.Rows = append(study.Rows, SchedRow{
 			Policy:       policy,
 			TotalMillis:  r.TotalTimeMillis(),
@@ -244,12 +264,12 @@ func RunHybridStudy(opts Options) *HybridResult {
 		return opts.Config(kind, barrier.EveryNPerProc, false, prefetch)
 	}
 
-	hb := core.MustRun(mkHybrid(false))
-	hp := core.MustRun(mkHybrid(true))
-	ab := core.MustRun(mkPure(pattern.LFP, false))
-	ap := core.MustRun(mkPure(pattern.LFP, true))
-	bb := core.MustRun(mkPure(pattern.LW, false))
-	bp := core.MustRun(mkPure(pattern.LW, true))
+	results := runAll(opts, []core.Config{
+		mkHybrid(false), mkHybrid(true),
+		mkPure(pattern.LFP, false), mkPure(pattern.LFP, true),
+		mkPure(pattern.LW, false), mkPure(pattern.LW, true),
+	})
+	hb, hp, ab, ap, bb, bp := results[0], results[1], results[2], results[3], results[4], results[5]
 
 	r := &HybridResult{
 		Hybrid:          hp,

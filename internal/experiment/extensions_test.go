@@ -9,6 +9,7 @@ import (
 )
 
 func TestScalabilitySweep(t *testing.T) {
+	t.Parallel()
 	r := ScalabilitySweep(TestScale(), []int{4, 8})
 	pf := r.TotalTime.FindSeries("prefetch")
 	np := r.TotalTime.FindSeries("no prefetch")
@@ -32,6 +33,7 @@ func TestScalabilitySweep(t *testing.T) {
 }
 
 func TestLayoutStudy(t *testing.T) {
+	t.Parallel()
 	s := RunLayoutStudy(TestScale())
 	if len(s.Rows) != 6 {
 		t.Fatalf("rows = %d", len(s.Rows))
@@ -63,6 +65,7 @@ func TestLayoutStudy(t *testing.T) {
 }
 
 func TestSchedStudy(t *testing.T) {
+	t.Parallel()
 	s := RunSchedStudy(TestScale())
 	if len(s.Rows) != 3 {
 		t.Fatalf("rows = %d", len(s.Rows))
@@ -87,6 +90,7 @@ func TestSchedStudy(t *testing.T) {
 }
 
 func TestHybridStudy(t *testing.T) {
+	t.Parallel()
 	r := RunHybridStudy(TestScale())
 	// The hybrid must still improve with prefetching.
 	if r.HybridReduction <= 0 {

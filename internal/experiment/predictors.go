@@ -44,12 +44,23 @@ type PredictorStudy struct {
 func RunPredictorStudy(opts Options) *PredictorStudy {
 	study := &PredictorStudy{}
 	preds := []predict.Kind{predict.Oracle, predict.OBL, predict.SEQ, predict.GAPS}
+	// One base run per pattern followed by its predictor runs: stride
+	// 1+len(preds) in the flat batch.
+	var cfgs []core.Config
 	for _, kind := range pattern.Kinds {
-		base := core.MustRun(opts.Config(kind, barrier.EveryNPerProc, false, false))
+		cfgs = append(cfgs, opts.Config(kind, barrier.EveryNPerProc, false, false))
 		for _, pk := range preds {
 			cfg := opts.Config(kind, barrier.EveryNPerProc, false, true)
 			cfg.Predictor = pk
-			r := core.MustRun(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(opts, cfgs)
+	stride := 1 + len(preds)
+	for ki, kind := range pattern.Kinds {
+		base := results[ki*stride]
+		for pi, pk := range preds {
+			r := results[ki*stride+1+pi]
 			study.Rows = append(study.Rows, PredictorRow{
 				Kind:          kind,
 				Predictor:     pk,

@@ -2,23 +2,28 @@ package experiment
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/pattern"
 	"repro/internal/predict"
 )
 
-var cachedStudy *PredictorStudy
+// Built once under sync.Once so parallel tests can share the fixture;
+// immutable after construction.
+var (
+	studyOnce   sync.Once
+	cachedStudy *PredictorStudy
+)
 
 func testStudy(t *testing.T) *PredictorStudy {
 	t.Helper()
-	if cachedStudy == nil {
-		cachedStudy = RunPredictorStudy(TestScale())
-	}
+	studyOnce.Do(func() { cachedStudy = RunPredictorStudy(TestScale()) })
 	return cachedStudy
 }
 
 func TestPredictorStudyShape(t *testing.T) {
+	t.Parallel()
 	s := testStudy(t)
 	if len(s.Rows) != 6*4 {
 		t.Fatalf("rows = %d, want 24", len(s.Rows))
@@ -46,6 +51,7 @@ func TestPredictorStudyShape(t *testing.T) {
 }
 
 func TestPredictorStudyNarrative(t *testing.T) {
+	t.Parallel()
 	s := testStudy(t)
 	// GAPS captures globally sequential patterns that local-view
 	// predictors cannot.
@@ -74,6 +80,7 @@ func TestPredictorStudyNarrative(t *testing.T) {
 }
 
 func TestPredictorStudyTableAndFigure(t *testing.T) {
+	t.Parallel()
 	s := testStudy(t)
 	table := s.Table()
 	if !strings.Contains(table, "oracle") || !strings.Contains(table, "gaps") {

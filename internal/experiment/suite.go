@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pattern"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,26 @@ type Options struct {
 	SyncTotalDivisor int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds how many independent simulations run concurrently
+	// (every run is its own engine, so the batch is embarrassingly
+	// parallel). Zero uses runtime.GOMAXPROCS; 1 forces the serial
+	// reference path. Results are byte-identical for every value.
+	Workers int
+	// Progress, if non-nil, observes run completions across each batch
+	// (see runner.Options.Progress).
+	Progress func(done, total int)
+}
+
+// runnerOpts maps the experiment options onto the execution engine.
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Workers: o.Workers, Seed: o.Seed, Progress: o.Progress}
+}
+
+// runAll submits one batch of independent configurations to the worker
+// pool and panics on any error, mirroring core.MustRun's contract. The
+// returned slice is in configuration order regardless of worker count.
+func runAll(o Options, cfgs []core.Config) []*core.Result {
+	return runner.MustRunConfigs(o.runnerOpts(), cfgs)
 }
 
 // PaperScale returns the paper's full-size parameters (§IV-D).
@@ -157,14 +178,25 @@ func Cells() []struct {
 	return cells
 }
 
-// RunSuite executes every cell with and without prefetching.
+// RunSuite executes every cell with and without prefetching. The cells
+// are independent simulations, so they are submitted as one batch to
+// the worker pool; pairs are assembled from the ordered results, so the
+// suite is identical for any Workers value.
 func RunSuite(opts Options) *Suite {
+	cells := Cells()
+	cfgs := make([]core.Config, 0, 2*len(cells))
+	for _, cell := range cells {
+		cfgs = append(cfgs,
+			opts.Config(cell.Kind, cell.Sync, cell.IOBound, false),
+			opts.Config(cell.Kind, cell.Sync, cell.IOBound, true))
+	}
+	results := runAll(opts, cfgs)
 	s := &Suite{Opts: opts}
-	for _, cell := range Cells() {
-		pair := &Pair{Kind: cell.Kind, Sync: cell.Sync, IOBound: cell.IOBound}
-		pair.NoPrefetch = core.MustRun(opts.Config(cell.Kind, cell.Sync, cell.IOBound, false))
-		pair.Prefetch = core.MustRun(opts.Config(cell.Kind, cell.Sync, cell.IOBound, true))
-		s.Pairs = append(s.Pairs, pair)
+	for i, cell := range cells {
+		s.Pairs = append(s.Pairs, &Pair{
+			Kind: cell.Kind, Sync: cell.Sync, IOBound: cell.IOBound,
+			NoPrefetch: results[2*i], Prefetch: results[2*i+1],
+		})
 	}
 	return s
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/barrier"
@@ -49,17 +50,22 @@ func TestOptionsConfig(t *testing.T) {
 	}
 }
 
-var cachedSuite *Suite
+// The shared TestScale suite fixture is built exactly once, guarded by
+// sync.Once so that tests marked t.Parallel can all share it safely.
+// The suite is immutable after construction; tests only read it.
+var (
+	suiteOnce   sync.Once
+	cachedSuite *Suite
+)
 
 func testSuite(t *testing.T) *Suite {
 	t.Helper()
-	if cachedSuite == nil {
-		cachedSuite = RunSuite(TestScale())
-	}
+	suiteOnce.Do(func() { cachedSuite = RunSuite(TestScale()) })
 	return cachedSuite
 }
 
 func TestSuiteShapeMatchesPaper(t *testing.T) {
+	t.Parallel()
 	s := testSuite(t)
 	if len(s.Pairs) != 46 {
 		t.Fatalf("pairs = %d", len(s.Pairs))
@@ -92,6 +98,7 @@ func TestSuiteShapeMatchesPaper(t *testing.T) {
 }
 
 func TestSuiteFigures(t *testing.T) {
+	t.Parallel()
 	s := testSuite(t)
 	fig3 := s.Fig3ReadTime()
 	if len(fig3.Series[0].Points) != 46 {
@@ -148,6 +155,7 @@ func TestSuiteFigures(t *testing.T) {
 }
 
 func TestSuiteTableAndByPattern(t *testing.T) {
+	t.Parallel()
 	s := testSuite(t)
 	table := s.Table()
 	if !strings.Contains(table, "gw/") || !strings.Contains(table, "Δexec%") {
@@ -178,6 +186,7 @@ func TestPairLabels(t *testing.T) {
 }
 
 func TestComputeSweepShape(t *testing.T) {
+	t.Parallel()
 	opts := TestScale()
 	r := ComputeSweep(opts, []int{0, 10, 20, 30})
 	pf := r.TotalTime.FindSeries("prefetch")
@@ -204,6 +213,7 @@ func TestComputeSweepShape(t *testing.T) {
 }
 
 func TestLeadSweepShape(t *testing.T) {
+	t.Parallel()
 	opts := TestScale()
 	r := LeadSweep(opts, []int{0, 8, 16})
 	for _, fig := range []struct {
@@ -229,6 +239,7 @@ func TestLeadSweepShape(t *testing.T) {
 }
 
 func TestMinPrefetchTimeSweep(t *testing.T) {
+	t.Parallel()
 	opts := TestScale()
 	r := MinPrefetchTimeSweep(opts, []int{0, 10, 20})
 	ov := r.Overrun.Series[0].Points
@@ -250,6 +261,7 @@ func TestMinPrefetchTimeSweep(t *testing.T) {
 }
 
 func TestBufferCountSweep(t *testing.T) {
+	t.Parallel()
 	opts := TestScale()
 	f := BufferCountSweep(opts, []int{1, 3})
 	if len(f.Series) != 6 {
@@ -263,6 +275,7 @@ func TestBufferCountSweep(t *testing.T) {
 }
 
 func TestFig1Motivation(t *testing.T) {
+	t.Parallel()
 	m := Fig1Motivation(1)
 	if len(m.PerProcRead) != 20 || len(m.PerProcSync) != 20 {
 		t.Fatalf("per-proc samples = %d/%d", len(m.PerProcRead), len(m.PerProcSync))

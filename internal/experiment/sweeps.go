@@ -52,23 +52,26 @@ func ComputeSweep(opts Options, meansMS []int) *ComputeSweepResult {
 	pfResp := r.DiskResponse.AddSeries("prefetch", 'P')
 	npResp := r.DiskResponse.AddSeries("no prefetch", 'N')
 	action := r.ActionTime.AddSeries("prefetch action", 'A')
+	var cfgs []core.Config
 	for _, mean := range meansMS {
 		for _, prefetch := range []bool{false, true} {
 			cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, false, prefetch)
 			cfg.ComputeMean = sweepDuration(mean)
-			res := core.MustRun(cfg)
-			x := float64(mean)
-			if prefetch {
-				pfTotal.Add(x, res.TotalTimeMillis())
-				pfRead.Add(x, res.ReadTime.Mean())
-				pfResp.Add(x, res.DiskResponse.Mean())
-				action.Add(x, res.PrefetchActionTime.Mean())
-			} else {
-				npTotal.Add(x, res.TotalTimeMillis())
-				npRead.Add(x, res.ReadTime.Mean())
-				npResp.Add(x, res.DiskResponse.Mean())
-			}
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results := runAll(opts, cfgs)
+	for mi, mean := range meansMS {
+		x := float64(mean)
+		np := results[2*mi]
+		pf := results[2*mi+1]
+		npTotal.Add(x, np.TotalTimeMillis())
+		npRead.Add(x, np.ReadTime.Mean())
+		npResp.Add(x, np.DiskResponse.Mean())
+		pfTotal.Add(x, pf.TotalTimeMillis())
+		pfRead.Add(x, pf.ReadTime.Mean())
+		pfResp.Add(x, pf.DiskResponse.Mean())
+		action.Add(x, pf.PrefetchActionTime.Mean())
 	}
 	return r
 }
@@ -117,7 +120,19 @@ func LeadSweep(opts Options, leads []int) *LeadSweepResult {
 	markers := map[pattern.Kind]byte{
 		pattern.LFP: 'l', pattern.GFP: 'g', pattern.LW: 'w', pattern.GW: 'G',
 	}
+	var cfgs []core.Config
 	for _, kind := range LeadKinds {
+		for _, lead := range leads {
+			cfg := opts.Config(kind, barrier.EveryNPerProc, false, true)
+			if kind.Local() {
+				cfg.Pattern.BlocksPerProc = opts.LeadLocalReads
+			}
+			cfg.Lead = lead
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(opts, cfgs)
+	for ki, kind := range LeadKinds {
 		hw := r.HitWait.AddSeries(kind.String(), markers[kind])
 		mr := r.MissRatio.AddSeries(kind.String(), markers[kind])
 		rt := r.ReadTime.AddSeries(kind.String(), markers[kind])
@@ -132,22 +147,14 @@ func LeadSweep(opts Options, leads []int) *LeadSweepResult {
 				norm = 1
 			}
 		}
-		for _, lead := range leads {
-			cfg := opts.Config(kind, barrier.EveryNPerProc, false, true)
-			if kind.Local() {
-				cfg.Pattern.BlocksPerProc = opts.LeadLocalReads
-			}
-			cfg.Lead = lead
-			res := core.MustRun(cfg)
+		for li, lead := range leads {
+			res := results[ki*len(leads)+li]
 			x := float64(lead)
 			hw.Add(x, res.HitWaitAll.Mean())
 			mr.Add(x, res.MissRatio())
 			rt.Add(x, res.ReadTime.Mean())
 			tt.Add(x, res.NormalizedTotalMillis(norm))
 		}
-		// Non-prefetching baseline as a reference series, one point per
-		// figure domain end (the paper discusses leads relative to the
-		// no-prefetch time).
 	}
 	return r
 }
@@ -184,14 +191,17 @@ func MinPrefetchTimeSweep(opts Options, thresholdsMS []int) *MinPrefetchTimeResu
 	so := r.Overrun.AddSeries("gw", 'o')
 	sh := r.HitRatio.AddSeries("gw", 'o')
 	st := r.TotalTime.AddSeries("gw", 'o')
-	for _, ms := range thresholdsMS {
-		cfg := opts.Config(pattern.GW, barrier.EveryNPerProc, true, true)
-		cfg.MinPrefetchTime = sweepDuration(ms)
-		res := core.MustRun(cfg)
+	cfgs := make([]core.Config, len(thresholdsMS))
+	for i, ms := range thresholdsMS {
+		cfgs[i] = opts.Config(pattern.GW, barrier.EveryNPerProc, true, true)
+		cfgs[i].MinPrefetchTime = sweepDuration(ms)
+	}
+	results := runAll(opts, cfgs)
+	for i, ms := range thresholdsMS {
 		x := float64(ms)
-		so.Add(x, res.Overrun.Mean())
-		sh.Add(x, res.HitRatio())
-		st.Add(x, res.TotalTimeMillis())
+		so.Add(x, results[i].Overrun.Mean())
+		sh.Add(x, results[i].HitRatio())
+		st.Add(x, results[i].TotalTimeMillis())
 	}
 	return r
 }
@@ -210,13 +220,24 @@ func BufferCountSweep(opts Options, counts []int) *metrics.Figure {
 		pattern.LFP: 'l', pattern.LRP: 'r', pattern.LW: 'w',
 		pattern.GFP: 'g', pattern.GRP: 'p', pattern.GW: 'G',
 	}
+	// One base (no-prefetch) run per pattern followed by its per-count
+	// runs: stride 1+len(counts) in the flat batch.
+	var cfgs []core.Config
 	for _, kind := range pattern.Kinds {
-		base := core.MustRun(opts.Config(kind, barrier.EveryNPerProc, false, false))
-		series := f.AddSeries(kind.String(), markers[kind])
+		cfgs = append(cfgs, opts.Config(kind, barrier.EveryNPerProc, false, false))
 		for _, n := range counts {
 			cfg := opts.Config(kind, barrier.EveryNPerProc, false, true)
 			cfg.PrefetchBuffersPerProc = n
-			res := core.MustRun(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(opts, cfgs)
+	stride := 1 + len(counts)
+	for ki, kind := range pattern.Kinds {
+		base := results[ki*stride]
+		series := f.AddSeries(kind.String(), markers[kind])
+		for ci, n := range counts {
+			res := results[ki*stride+1+ci]
 			series.Add(float64(n),
 				metrics.PercentReduction(base.TotalTimeMillis(), res.TotalTimeMillis()))
 		}
@@ -267,9 +288,10 @@ func Fig1Motivation(seed uint64) *MotivationResult {
 	cfg.Sync = barrier.EveryNPerProc
 	cfg.ComputeMean = 0
 	cfg.Seed = seed
-	base := core.MustRun(cfg)
-	cfg.Prefetch = true
-	pf := core.MustRun(cfg)
+	pfCfg := cfg
+	pfCfg.Prefetch = true
+	results := runAll(Options{Seed: seed}, []core.Config{cfg, pfCfg})
+	base, pf := results[0], results[1]
 	m := &MotivationResult{NoPrefetch: base, Prefetch: pf}
 	fastest, slowest := 0, 0
 	for i, ps := range pf.PerProc {
