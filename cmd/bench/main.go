@@ -1,0 +1,216 @@
+// Command bench runs the repository's figure benchmarks and records the
+// results as a JSON perf baseline, so the performance trajectory of the
+// simulator is tracked in-repo rather than lost in CI logs.
+//
+// Each benchmark runs in its own `go test` process by default: the
+// suite-backed figure benchmarks share a lazily computed suite within
+// one process (deliberately, so `go test -bench=.` doubles as a cheap
+// reproduction table), which would misattribute the whole suite's cost
+// to whichever benchmark runs first. Isolation charges every figure its
+// true cost.
+//
+// Examples:
+//
+//	bench                          # all figure benchmarks -> BENCH_<date>.json
+//	bench -bench 'Fig08|Fig12'     # just the named figures
+//	bench -benchtime 3x -o out.json
+//	bench -shared                  # single process, shared caches (fast smoke)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the file format of BENCH_<date>.json.
+type Baseline struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Label      string   `json:"label,omitempty"`
+	Benchtime  string   `json:"benchtime"`
+	Isolated   bool     `json:"isolated"`
+	Package    string   `json:"package"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
+		benchRE   = flag.String("bench", ".", "regexp selecting benchmarks to run")
+		benchtime = flag.String("benchtime", "1x", "benchtime passed to go test")
+		out       = flag.String("o", "", "output file (default BENCH_<date>.json)")
+		label     = flag.String("label", "", "free-form label recorded in the baseline")
+		shared    = flag.Bool("shared", false, "run all benchmarks in one process (shared lazy caches)")
+		dir       = flag.String("C", ".", "directory to run go test from (module root)")
+	)
+	flag.Parse()
+
+	names, err := listBenchmarks(*dir, *pkg, *benchRE)
+	if err != nil {
+		fatal(err)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no benchmarks match %q in %s", *benchRE, *pkg))
+	}
+
+	var results []Result
+	if *shared {
+		results, err = runBench(*dir, *pkg, *benchRE, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "bench: %s\n", name)
+			rs, err := runBench(*dir, *pkg, "^"+name+"$", *benchtime)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			results = append(results, rs...)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	date := time.Now().Format("2006-01-02")
+	b := Baseline{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Label:      *label,
+		Benchtime:  *benchtime,
+		Isolated:   !*shared,
+		Package:    *pkg,
+		Benchmarks: results,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench: %d benchmarks -> %s\n", len(results), path)
+}
+
+// listBenchmarks asks `go test -list` for the benchmark names matching
+// the regexp, without running anything.
+func listBenchmarks(dir, pkg, re string) ([]string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-list", re, pkg)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -list: %v\n%s", err, out)
+	}
+	var names []string
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Benchmark") {
+			names = append(names, line)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// runBench executes one `go test -bench` invocation and parses every
+// result line it prints.
+func runBench(dir, pkg, re, benchtime string) ([]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", re, "-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s", err, buf.String())
+	}
+	var results []Result
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark results in output:\n%s", buf.String())
+	}
+	return results, nil
+}
+
+var (
+	benchLineRE  = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+	procSuffixRE = regexp.MustCompile(`-\d+$`)
+)
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFig08TotalTime  1  123456 ns/op  4.2 some-metric  12 B/op  3 allocs/op
+//
+// into a Result. Reports ok=false for non-result lines.
+func parseBenchLine(line string) (Result, bool) {
+	m := benchLineRE.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: procSuffixRE.ReplaceAllString(m[1], ""), Iterations: iters, Metrics: map[string]float64{}}
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

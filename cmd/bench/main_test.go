@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkFig08TotalTime-8   \t       1\t1234567890 ns/op\t        48.25 median-exec-reduction-%\t  676247 B/op\t   22779 allocs/op"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkFig08TotalTime" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Iterations != 1 {
+		t.Fatalf("iterations = %d", r.Iterations)
+	}
+	if r.NsPerOp != 1234567890 {
+		t.Fatalf("ns/op = %v", r.NsPerOp)
+	}
+	if r.BytesPerOp != 676247 || r.AllocsPerOp != 22779 {
+		t.Fatalf("mem = %v B/op %v allocs/op", r.BytesPerOp, r.AllocsPerOp)
+	}
+	if r.Metrics["median-exec-reduction-%"] != 48.25 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineNoSuffix(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSingleRun \t     710\t   8470214 ns/op")
+	if !ok || r.Name != "BenchmarkSingleRun" || r.Iterations != 710 || r.NsPerOp != 8470214 {
+		t.Fatalf("parse = %+v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro",
+		"PASS",
+		"ok  \trepro\t7.007s",
+		"BenchmarkBroken  not-a-number ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("noise line parsed as result: %q", line)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	rapid "repro"
@@ -20,42 +21,55 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rapid:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, factored out of main so tests can drive it
+// with arbitrary arguments and capture its output.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rapid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		patternName = flag.String("pattern", "gw", "access pattern: lfp, lrp, lw, gfp, grp, gw")
-		syncName    = flag.String("sync", "none", "sync style: each, total, portion, none")
-		prefetch    = flag.Bool("prefetch", false, "enable prefetching")
-		predictor   = flag.String("predictor", "oracle", "prefetch candidate source: oracle, obl, seq, gaps")
-		compare     = flag.Bool("compare", false, "run with AND without prefetching and compare")
-		ioBound     = flag.Bool("iobound", false, "no computation per block (I/O bound)")
-		computeMS   = flag.Float64("compute", -1, "mean computation per block in ms (-1 = paper default)")
-		procs       = flag.Int("procs", 20, "number of processors (and disks)")
-		blocks      = flag.Int("blocks", 2000, "total blocks read (global patterns)")
-		perProc     = flag.Int("perproc", 100, "blocks read per process (local patterns)")
-		lead        = flag.Int("lead", 0, "minimum prefetch lead in blocks")
-		minPF       = flag.Float64("minpf", 0, "minimum prefetch time in ms")
-		buffers     = flag.Int("buffers", 3, "prefetch buffers per process")
-		ruSet       = flag.Int("ruset", 1, "recently-used set size per process")
-		perNode     = flag.Bool("pernode", false, "strict per-node prefetch buffer limits")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		traceFile   = flag.String("trace", "", "write the access trace to this file")
-		analyze     = flag.Bool("analyze", false, "print off-line trace analysis")
-		perProcOut  = flag.Bool("procstats", false, "print per-process statistics")
-		hist        = flag.Bool("hist", false, "print the block read time distribution")
-		asJSON      = flag.Bool("json", false, "emit the full result as JSON")
+		patternName = fs.String("pattern", "gw", "access pattern: lfp, lrp, lw, gfp, grp, gw")
+		syncName    = fs.String("sync", "none", "sync style: each, total, portion, none")
+		prefetch    = fs.Bool("prefetch", false, "enable prefetching")
+		predictor   = fs.String("predictor", "oracle", "prefetch candidate source: oracle, obl, seq, gaps")
+		compare     = fs.Bool("compare", false, "run with AND without prefetching and compare")
+		ioBound     = fs.Bool("iobound", false, "no computation per block (I/O bound)")
+		computeMS   = fs.Float64("compute", -1, "mean computation per block in ms (-1 = paper default)")
+		procs       = fs.Int("procs", 20, "number of processors (and disks)")
+		blocks      = fs.Int("blocks", 2000, "total blocks read (global patterns)")
+		perProc     = fs.Int("perproc", 100, "blocks read per process (local patterns)")
+		lead        = fs.Int("lead", 0, "minimum prefetch lead in blocks")
+		minPF       = fs.Float64("minpf", 0, "minimum prefetch time in ms")
+		buffers     = fs.Int("buffers", 3, "prefetch buffers per process")
+		ruSet       = fs.Int("ruset", 1, "recently-used set size per process")
+		perNode     = fs.Bool("pernode", false, "strict per-node prefetch buffer limits")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		traceFile   = fs.String("trace", "", "write the access trace to this file")
+		analyze     = fs.Bool("analyze", false, "print off-line trace analysis")
+		perProcOut  = fs.Bool("procstats", false, "print per-process statistics")
+		hist        = fs.Bool("hist", false, "print the block read time distribution")
+		asJSON      = fs.Bool("json", false, "emit the full result as JSON")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	kind, err := rapid.ParsePatternKind(*patternName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	style, err := rapid.ParseSyncStyle(*syncName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pred, err := rapid.ParsePredictorKind(*predictor)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	build := func(pf bool) rapid.Config {
@@ -87,19 +101,19 @@ func main() {
 	if *compare {
 		base, err := rapid.Run(build(false))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		pf, err := rapid.Run(build(true))
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(base)
-		fmt.Print(pf)
-		fmt.Printf("prefetching: total time %+.1f%%, read time %+.1f%%, hit ratio %.3f -> %.3f\n",
+		fmt.Fprint(stdout, base)
+		fmt.Fprint(stdout, pf)
+		fmt.Fprintf(stdout, "prefetching: total time %+.1f%%, read time %+.1f%%, hit ratio %.3f -> %.3f\n",
 			-rapid.PercentReduction(base.TotalTimeMillis(), pf.TotalTimeMillis()),
 			-rapid.PercentReduction(base.ReadTime.Mean(), pf.ReadTime.Mean()),
 			base.HitRatio(), pf.HitRatio())
-		return
+		return nil
 	}
 
 	cfg := build(*prefetch)
@@ -110,25 +124,22 @@ func main() {
 	}
 	res, err := rapid.Run(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fatal(err)
-		}
-		return
+		return enc.Encode(res)
 	}
-	fmt.Print(res)
+	fmt.Fprint(stdout, res)
 	if *hist {
-		fmt.Println("block read time distribution (ms):")
-		fmt.Print(res.ReadTimeHist.Render(48))
+		fmt.Fprintln(stdout, "block read time distribution (ms):")
+		fmt.Fprint(stdout, res.ReadTimeHist.Render(48))
 	}
 	if *perProcOut {
-		fmt.Println("per-process:")
+		fmt.Fprintln(stdout, "per-process:")
 		for _, ps := range res.PerProc {
-			fmt.Printf("  proc %2d: %4d reads, read %7.2f ms, sync %7.2f ms, %d prefetches (%d attempts), finish %v\n",
+			fmt.Fprintf(stdout, "  proc %2d: %4d reads, read %7.2f ms, sync %7.2f ms, %d prefetches (%d attempts), finish %v\n",
 				ps.Node, ps.Reads, ps.ReadTime.Mean(), ps.SyncWait.Mean(),
 				ps.PrefetchesIssued, ps.PrefetchAttempts, ps.Finish)
 		}
@@ -137,20 +148,21 @@ func main() {
 		if *traceFile != "" {
 			f, err := os.Create(*traceFile)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if _, err := rec.WriteTo(f); err != nil {
-				fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("trace: %d events -> %s\n", rec.Len(), *traceFile)
+			fmt.Fprintf(stdout, "trace: %d events -> %s\n", rec.Len(), *traceFile)
 		}
 		if *analyze {
-			fmt.Print(trace.Analyze(rec.Events()))
+			fmt.Fprint(stdout, trace.Analyze(rec.Events()))
 		}
 	}
+	return nil
 }
 
 func totalReads(kind rapid.PatternKind, blocks, perProc, procs int) int {
@@ -158,9 +170,4 @@ func totalReads(kind rapid.PatternKind, blocks, perProc, procs int) int {
 		return perProc * procs
 	}
 	return blocks
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rapid:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from current output")
+
+// small is a fast, fully deterministic configuration shared by the
+// run tests.
+var small = []string{"-procs", "4", "-blocks", "64", "-perproc", "16", "-seed", "7"}
+
+func runCmd(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb strings.Builder
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestBadFlagValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pattern", "bogus"},
+		{"-sync", "sometimes"},
+		{"-predictor", "psychic"},
+		{"-procs", "twenty"},
+		{"-nosuchflag"},
+	} {
+		if _, _, err := runCmd(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-sync", "total", "-prefetch"}, small...)
+	a, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two identical invocations diverged:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"gw/total", "hit ratio", "total time"} {
+		if !strings.Contains(strings.ToLower(a), want) {
+			t.Errorf("output missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestGoldenOutput pins the human-readable report for one small
+// prefetching run. Regenerate deliberately with
+// `go test ./cmd/rapid -run TestGoldenOutput -update`.
+func TestGoldenOutput(t *testing.T) {
+	args := append([]string{"-pattern", "lfp", "-sync", "each", "-prefetch", "-iobound"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "lfp_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output diverges from golden:\n--- golden ---\n%s\n--- current ---\n%s", want, got)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-prefetch", "-json"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got, "{") || !strings.Contains(got, "\"Cache\"") {
+		t.Fatalf("unexpected JSON output:\n%s", got)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-compare", "-iobound"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "prefetching: total time") {
+		t.Fatalf("compare summary missing:\n%s", got)
+	}
+}
+
+func TestTraceAndAnalyze(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	args := append([]string{"-pattern", "gw", "-prefetch", "-trace", path, "-analyze"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !strings.Contains(got, "trace:") {
+		t.Fatalf("trace confirmation missing:\n%s", got)
+	}
+}

@@ -72,7 +72,7 @@ func New(k *sim.Kernel, parties int) *Barrier {
 	if parties <= 0 {
 		panic("barrier: need at least one party")
 	}
-	return &Barrier{k: k, parties: parties, release: sim.NewEvent(k)}
+	return &Barrier{k: k, parties: parties, release: sim.NewEvent(k).SetLabel("barrier release")}
 }
 
 // Parties returns the number of currently participating processes.
@@ -121,7 +121,7 @@ func (b *Barrier) open() {
 	b.generations++
 	b.arrived = 0
 	ev := b.release
-	b.release = sim.NewEvent(b.k)
+	b.release = sim.NewEvent(b.k).SetLabel("barrier release")
 	ev.Fire()
 }
 

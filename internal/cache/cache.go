@@ -78,7 +78,15 @@ type Buffer struct {
 	// reusable-list linkage.
 	prev, next *Buffer
 	onLRU      bool
+
+	owner *Cache // for the fetch-completion continuation's Wake
 }
+
+// Wake transitions the buffer to Ready when its in-flight transfer's
+// completion event fires. The buffer itself is the continuation
+// (sim.Waiter) that BeginFetch registers, so the unready-hit wakeup
+// path allocates nothing and runs entirely in kernel context.
+func (b *Buffer) Wake() { b.owner.markReady(b) }
 
 // ID returns the frame number.
 func (b *Buffer) ID() int { return b.id }
@@ -278,7 +286,7 @@ func New(k *sim.Kernel, opts Options) *Cache {
 		opts:    opts,
 		byBlock: make(map[int]*Buffer, total),
 		perNode: make([]int, opts.Nodes),
-		Freed:   sim.NewWaitQueue(k),
+		Freed:   sim.NewWaitQueue(k).SetLabel("a freed cache frame"),
 	}
 	c.buffers = make([]*Buffer, total)
 	for i := range c.buffers {
@@ -286,7 +294,7 @@ func New(k *sim.Kernel, opts Options) *Cache {
 		if i >= opts.DemandFrames {
 			class = PrefetchClass
 		}
-		b := &Buffer{id: i, block: -1, class: class}
+		b := &Buffer{id: i, block: -1, class: class, owner: c}
 		c.buffers[i] = b
 		c.free[class] = append(c.free[class], b)
 	}
@@ -501,7 +509,7 @@ func (c *Cache) BeginFetch(buf *Buffer, done *sim.Event, estDone sim.Time) {
 	buf.IODone = done
 	buf.fetchStarted = c.k.Now()
 	buf.fetchDone = estDone
-	done.OnFire(func() { c.markReady(buf) })
+	done.AddWaiter(buf)
 }
 
 func (c *Cache) markReady(buf *Buffer) {

@@ -32,6 +32,11 @@ type Engine struct {
 	track  memory.Tracker
 	res    *Result
 
+	// Per-node idle-time prefetch schedulers (nil when not prefetching)
+	// and the start time of each node's action in flight.
+	scheds      []*prefetch.Scheduler
+	actionStart []sim.Time
+
 	globalCursor int
 	localCursor  []int
 	maxFinish    sim.Time
@@ -109,11 +114,21 @@ func New(cfg Config) (*Engine, error) {
 // Run executes the experiment to completion and returns the collected
 // measurements. It must be called at most once per Engine.
 func (e *Engine) Run() *Result {
+	prefetching := e.policy != nil || e.pred != nil
+	if prefetching {
+		e.scheds = make([]*prefetch.Scheduler, e.cfg.Procs)
+		e.actionStart = make([]sim.Time, e.cfg.Procs)
+	}
 	for node := 0; node < e.cfg.Procs; node++ {
 		node := node
-		e.k.Spawn(fmt.Sprintf("proc%d", node), 0, func(p *sim.Proc) {
+		p := e.k.Spawn(fmt.Sprintf("proc%d", node), 0, func(p *sim.Proc) {
 			e.procBody(p, node)
 		})
+		if prefetching {
+			e.scheds[node] = prefetch.NewScheduler(e.k, p,
+				func(deadline sim.Time) (sim.Duration, bool) { return e.beginAction(node, deadline) },
+				func() { e.finishAction(node) })
+		}
 	}
 	e.k.Run()
 	e.res.TotalTime = sim.Duration(e.maxFinish)
@@ -287,7 +302,7 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 		}
 		dsk, phys := e.layout.Locate(block)
 		req := e.disks.Submit(dsk, block, phys, false)
-		e.bcache.BeginFetch(nbuf, req.Complete, req.EstDone)
+		e.bcache.BeginFetch(nbuf, &req.Complete, req.EstDone)
 		e.trace(Event{T: p.Now(), Node: node, Kind: EvDemandFetch, Block: block, Index: idx})
 		e.waitEvent(p, node, nbuf.IODone, req.EstDone, IdleOwnIO)
 		buf = nbuf
@@ -325,27 +340,22 @@ func (e *Engine) syncArrive(p *sim.Proc, node int) {
 // (known exactly for disk waits, unknown — MaxTime — for sync waits);
 // it gates the MinPrefetchTime heuristic. The return value is the
 // logical wait: from call to event firing.
+//
+// The prefetch actions themselves run as the node's Scheduler chain in
+// kernel context (see prefetch.Scheduler); the process parks once for
+// the whole wait rather than once per action.
 func (e *Engine) waitEvent(p *sim.Proc, node int, ev *sim.Event, deadline sim.Time, kind IdleKind) sim.Duration {
 	start := p.Now()
 	if ev.Fired() {
 		return 0
 	}
-	if e.policy == nil && e.pred == nil {
+	if e.scheds == nil {
 		ev.Wait(p)
 		logical := p.Now().Sub(start)
 		e.res.IdleTime[kind].Add(logical.Millis())
 		return logical
 	}
-	ranAction := false
-	for !ev.Fired() {
-		if !e.tryPrefetch(p, node, deadline) {
-			if !ev.Fired() {
-				ev.Wait(p)
-			}
-			break
-		}
-		ranAction = true
-	}
+	ranAction := e.scheds[node].Wait(ev, deadline)
 	logical := ev.FiredAt().Sub(start)
 	e.res.IdleTime[kind].Add(logical.Millis())
 	if ranAction {
@@ -358,15 +368,18 @@ func (e *Engine) waitEvent(p *sim.Proc, node int, ev *sim.Event, deadline sim.Ti
 	return logical
 }
 
-// tryPrefetch performs one prefetch action: select a block, claim a
-// frame, start the I/O (without waiting for it), charging the NUMA cost
-// model for the work. It returns false when there is nothing to do —
-// no candidate block, or the MinPrefetchTime heuristic suppresses the
-// action — and true when an action (successful or failed) consumed time.
-func (e *Engine) tryPrefetch(p *sim.Proc, node int, deadline sim.Time) bool {
+// beginAction performs the first half of one prefetch action in kernel
+// context: select a block, claim a frame, start the I/O (without
+// waiting for it), and price the work under the NUMA cost model. It
+// returns ok=false when there is nothing to do — no candidate block, or
+// the MinPrefetchTime heuristic suppresses the action — and the
+// action's duration when one (successful or failed) is under way;
+// finishAction completes it after that duration elapses.
+func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
+	now := e.k.Now()
 	if e.cfg.MinPrefetchTime > 0 && deadline != sim.MaxTime {
-		if deadline.Sub(p.Now()) < e.cfg.MinPrefetchTime {
-			return false
+		if deadline.Sub(now) < e.cfg.MinPrefetchTime {
+			return 0, false
 		}
 	}
 	// The prefetched-unused limits are O(1) shared counters, so the file
@@ -377,7 +390,7 @@ func (e *Engine) tryPrefetch(p *sim.Proc, node int, deadline sim.Time) bool {
 	// lfp slowdowns.
 	switch e.bcache.CanPrefetch(node) {
 	case cache.FailGlobalLimit, cache.FailNodeLimit:
-		return false
+		return 0, false
 	}
 	var block, idx int
 	var ok bool
@@ -388,24 +401,37 @@ func (e *Engine) tryPrefetch(p *sim.Proc, node int, deadline sim.Time) bool {
 		idx = -1
 	}
 	if !ok {
-		return false
+		return 0, false
 	}
-	start := p.Now()
+	e.actionStart[node] = now
 	e.res.PerProc[node].PrefetchAttempts++
 	buf, res := e.bcache.AllocatePrefetch(node, block)
+	var cost memory.Cost
 	if res == cache.PrefetchOK {
 		dsk, phys := e.layout.Locate(block)
 		req := e.disks.Submit(dsk, block, phys, true)
-		e.bcache.BeginFetch(buf, req.Complete, req.EstDone)
-		e.trace(Event{T: p.Now(), Node: node, Kind: EvPrefetchIssue, Block: block, Index: idx})
+		e.bcache.BeginFetch(buf, &req.Complete, req.EstDone)
+		e.trace(Event{T: now, Node: node, Kind: EvPrefetchIssue, Block: block, Index: idx})
 		e.res.PerProc[node].PrefetchesIssued++
-		e.fsWork(p, e.cfg.Memory.PrefetchAction)
+		cost = e.cfg.Memory.PrefetchAction
 	} else {
-		e.trace(Event{T: p.Now(), Node: node, Kind: EvPrefetchFail, Block: block, Index: idx})
-		e.fsWork(p, e.cfg.Memory.PrefetchFail)
+		e.trace(Event{T: now, Node: node, Kind: EvPrefetchFail, Block: block, Index: idx})
+		cost = e.cfg.Memory.PrefetchFail
 	}
-	e.res.PrefetchActionTime.Add(p.Now().Sub(start).Millis())
-	return true
+	others := e.track.Enter()
+	d := cost.At(others)
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	return d, true
+}
+
+// finishAction completes the action begun by beginAction: the processor
+// leaves the file system (releasing its contention slot) and the
+// action's elapsed time is recorded.
+func (e *Engine) finishAction(node int) {
+	e.track.Exit()
+	e.res.PrefetchActionTime.Add(e.k.Now().Sub(e.actionStart[node]).Millis())
 }
 
 // fsWork charges the processor for one file system operation under the

@@ -107,15 +107,23 @@ func ParseSchedPolicy(s string) (SchedPolicy, error) {
 // fixed access time).
 type Request struct {
 	Disk     int
-	Block    int        // logical file block, for tracing
-	Physical int        // physical block on the disk
-	Prefetch bool       // issued by the prefetcher rather than on demand
-	Enqueued sim.Time   // when the request joined the disk queue
-	Started  sim.Time   // when the disk began servicing it
-	Done     sim.Time   // when the transfer completed
-	EstDone  sim.Time   // completion estimate available at submission
-	Complete *sim.Event // fires at Done
+	Block    int       // logical file block, for tracing
+	Physical int       // physical block on the disk
+	Prefetch bool      // issued by the prefetcher rather than on demand
+	Enqueued sim.Time  // when the request joined the disk queue
+	Started  sim.Time  // when the disk began servicing it
+	Done     sim.Time  // when the transfer completed
+	EstDone  sim.Time  // completion estimate available at submission
+	Complete sim.Event // fires at Done
+
+	owner *Disk // for the completion timer's Wake
 }
+
+// Wake delivers the completion at Done: the request itself is the
+// timer's continuation (sim.Waiter), so completing an I/O allocates no
+// closure and resumes no goroutine beyond the processes actually
+// waiting on Complete.
+func (r *Request) Wake() { r.owner.complete(r) }
 
 // ResponseTime is the paper's "effective disk access time": queueing
 // delay plus physical access.
@@ -204,8 +212,9 @@ func (d *Disk) Submit(block, phys int, prefetch bool) *Request {
 		Physical: phys,
 		Prefetch: prefetch,
 		Enqueued: now,
-		Complete: sim.NewEvent(d.k),
+		owner:    d,
 	}
+	req.Complete.Init(d.k, "disk I/O completion")
 	// Completion estimate for the file system's idle-time planning:
 	// exact under FIFO with a fixed access time, a heuristic otherwise.
 	queued := len(d.pending)
@@ -251,7 +260,7 @@ func (d *Disk) dispatch() {
 	req.Done = now.Add(service)
 	d.busy += service
 	d.current = req
-	d.k.Schedule(req.Done, func() { d.complete(req) })
+	d.k.ScheduleWake(req.Done, req)
 }
 
 func (d *Disk) complete(req *Request) {

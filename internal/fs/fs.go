@@ -104,7 +104,7 @@ func New(k *sim.Kernel, opts Options) *FileSystem {
 		}),
 		diskAlloc: make([]int, o.Disks),
 	}
-	fs.writesDrained = sim.NewWaitQueue(k)
+	fs.writesDrained = sim.NewWaitQueue(k).SetLabel("write-behind drain")
 	return fs
 }
 
@@ -234,7 +234,7 @@ func (h *Handle) Read(p *sim.Proc, block int) sim.Duration {
 		}
 		d, phys := f.locate(block)
 		req := fs.disks.Submit(d, id, phys, false)
-		fs.bc.BeginFetch(buf, req.Complete, req.EstDone)
+		fs.bc.BeginFetch(buf, &req.Complete, req.EstDone)
 		buf.IODone.Wait(p)
 		h.held = buf
 		break
@@ -264,7 +264,7 @@ func (f *File) readahead(p *sim.Proc, node, after int) {
 		fs.work(p, fs.opts.Memory.PrefetchAction)
 		d, phys := f.locate(b)
 		req := fs.disks.Submit(d, id, phys, true)
-		fs.bc.BeginFetch(buf, req.Complete, req.EstDone)
+		fs.bc.BeginFetch(buf, &req.Complete, req.EstDone)
 	}
 }
 
@@ -313,14 +313,26 @@ func (h *Handle) Write(p *sim.Proc, block int) sim.Duration {
 	req := fs.disks.Submit(d, id, phys, false)
 	fs.pendingWrites++
 	fs.writesIssued++
-	req.Complete.OnFire(func() {
-		fs.bc.Unpin(buf)
-		fs.pendingWrites--
-		if fs.pendingWrites == 0 {
-			fs.writesDrained.WakeAll()
-		}
-	})
+	req.Complete.AddWaiter(&writeback{fs: fs, buf: buf})
 	return p.Now().Sub(start)
+}
+
+// writeback is the continuation (sim.Waiter) registered on a write's
+// disk completion: it releases the retained frame and, when the last
+// outstanding write lands, wakes Sync callers. Running it in kernel
+// context keeps write-behind off the goroutine-handoff path entirely.
+type writeback struct {
+	fs  *FileSystem
+	buf *cache.Buffer
+}
+
+func (w *writeback) Wake() {
+	fs := w.fs
+	fs.bc.Unpin(w.buf)
+	fs.pendingWrites--
+	if fs.pendingWrites == 0 {
+		fs.writesDrained.WakeAll()
+	}
 }
 
 // Sync blocks the process until every outstanding write-back has

@@ -1,0 +1,79 @@
+package prefetch
+
+import "repro/internal/sim"
+
+// Scheduler drives the paper's idle-time prefetching (§III) for one
+// processor without goroutine handoffs. While the processor is parked
+// waiting for an event — its own demand fetch, another node's in-flight
+// block, a barrier release — prefetch actions run as a chain of
+// kernel-context continuations: each action's completion timer begins
+// the next action directly, and the processor's goroutine is resumed
+// exactly once, when the awaited event has fired and the action in
+// flight (if any) has completed. The semantics are identical to a
+// blocking loop of "try one action, advance the clock by its cost,
+// re-check the event", but the per-action cost is a function call
+// instead of two goroutine context switches.
+type Scheduler struct {
+	k *sim.Kernel
+	p *sim.Proc
+
+	// begin starts one prefetch action in kernel context — selecting a
+	// block, claiming a frame, submitting the I/O, charging the cost
+	// model — and returns the action's duration. ok=false means no
+	// action is possible right now (no candidate, limits exhausted, or
+	// the remaining idle time is below the minimum-idle heuristic).
+	begin func(deadline sim.Time) (d sim.Duration, ok bool)
+	// finish completes the action begun last (releases the contention
+	// tracker, records the action time).
+	finish func()
+
+	ev       *sim.Event
+	deadline sim.Time
+	ran      bool
+}
+
+// NewScheduler returns an idle-time prefetch scheduler for process p.
+func NewScheduler(k *sim.Kernel, p *sim.Proc, begin func(sim.Time) (sim.Duration, bool), finish func()) *Scheduler {
+	return &Scheduler{k: k, p: p, begin: begin, finish: finish}
+}
+
+// Wait blocks the process until ev fires, filling the wait with
+// prefetch actions. deadline is the caller's estimate of when the idle
+// period ends (sim.MaxTime when unknown), passed through to begin. It
+// reports whether at least one action ran — when true the process may
+// resume after the event fired (prefetch overrun), and the caller
+// derives the overrun from the gap between the resume time and
+// ev.FiredAt(). The event must not have fired yet. Process context
+// only; one Wait may be outstanding per Scheduler.
+func (s *Scheduler) Wait(ev *sim.Event, deadline sim.Time) (ranAction bool) {
+	s.ev, s.deadline, s.ran = ev, deadline, false
+	if d, ok := s.begin(deadline); ok {
+		s.ran = true
+		s.k.AfterWake(d, s)
+		s.p.Park(ev.Label())
+	} else {
+		ev.Wait(s.p)
+	}
+	s.ev = nil
+	return s.ran
+}
+
+// Wake is the action-completion continuation (sim.Waiter): it finishes
+// the action in flight and decides, still in kernel context, what the
+// parked process does next — resume (event fired), begin another
+// action, or hand the wakeup to the event.
+func (s *Scheduler) Wake() {
+	s.finish()
+	if s.ev.Fired() {
+		s.k.Resume(s.p)
+		return
+	}
+	if d, ok := s.begin(s.deadline); ok {
+		s.k.AfterWake(d, s)
+		return
+	}
+	// Nothing to prefetch: the process stays parked until the event
+	// fires. begin cannot have fired the event (it only submits I/O),
+	// so the enqueue cannot race with the firing instant.
+	s.ev.Enqueue(s.p)
+}

@@ -5,18 +5,55 @@ package sim
 // Once fired it stays fired, and remembers when it fired — which is what
 // lets callers compute quantities like the paper's hit-wait time and
 // prefetch overrun. The zero value is an unfired event, but an Event
-// must be associated with a kernel before use; use NewEvent.
+// must be associated with a kernel before use; use NewEvent, or Init for
+// events embedded in larger records.
+//
+// An event can release two kinds of parties when it fires: Waiter
+// continuations (AddWaiter/OnFire), which run synchronously in kernel
+// context at the instant of firing, and blocked processes (Wait/
+// Enqueue), which are scheduled to resume at that instant, after every
+// continuation has run. Both sides keep a single inline slot plus an
+// overflow slice, so the overwhelmingly common one-party case costs no
+// allocation.
 type Event struct {
 	k       *Kernel
+	label   string
 	fired   bool
 	firedAt Time
-	waiters []*Proc
-	onFire  []func()
+	c0      Waiter   // first continuation
+	conts   []Waiter // further continuations, in registration order
+	p0      *Proc    // first blocked process
+	procs   []*Proc  // further blocked processes, in arrival order
 }
 
 // NewEvent returns an unfired event on kernel k.
 func NewEvent(k *Kernel) *Event {
 	return &Event{k: k}
+}
+
+// Init readies a zero-value Event — typically one embedded in a larger
+// record, such as a disk request, so that the event costs no separate
+// allocation — for use on kernel k. The label names the event in
+// deadlock diagnostics.
+func (e *Event) Init(k *Kernel, label string) {
+	e.k = k
+	e.label = label
+}
+
+// SetLabel names the event in deadlock diagnostics and returns the
+// event, so it chains with NewEvent.
+func (e *Event) SetLabel(label string) *Event {
+	e.label = label
+	return e
+}
+
+// Label returns the event's diagnostic label, or "an event" if none was
+// set.
+func (e *Event) Label() string {
+	if e.label == "" {
+		return "an event"
+	}
+	return e.label
 }
 
 // Fired reports whether the event has fired.
@@ -31,40 +68,64 @@ func (e *Event) FiredAt() Time {
 	return e.firedAt
 }
 
-// Fire marks the event as having occurred now and schedules every waiter
-// to resume at the current instant. Firing an already-fired event panics:
-// events are one-shot by design, and double-firing always indicates a
-// bookkeeping bug in the caller.
+// Fire marks the event as having occurred now, wakes every continuation,
+// and schedules every blocked process to resume at the current instant.
+// Continuations run synchronously, before any process resumes, so state
+// transitions they perform (e.g. a cache buffer becoming Ready) are
+// visible to every process released. Firing an already-fired event
+// panics: events are one-shot by design, and double-firing always
+// indicates a bookkeeping bug in the caller.
 func (e *Event) Fire() {
 	if e.fired {
 		panic("sim: event fired twice")
 	}
 	e.fired = true
 	e.firedAt = e.k.now
-	// Callbacks run synchronously, before any waiter resumes, so state
-	// transitions they perform (e.g. a cache buffer becoming Ready) are
-	// visible to every waiter.
-	for _, fn := range e.onFire {
-		fn()
+	if w := e.c0; w != nil {
+		e.c0 = nil
+		w.Wake()
 	}
-	e.onFire = nil
-	for _, p := range e.waiters {
-		proc := p
-		e.k.After(0, func() { e.k.step(proc) })
+	for _, w := range e.conts {
+		w.Wake()
 	}
-	e.waiters = nil
+	e.conts = nil
+	if p := e.p0; p != nil {
+		e.p0 = nil
+		e.k.scheduleStep(p)
+	}
+	for _, p := range e.procs {
+		e.k.scheduleStep(p)
+	}
+	e.procs = nil
 }
+
+// AddWaiter registers w to be woken, in kernel context, at the moment
+// the event fires — before any blocked process resumes. If the event has
+// already fired, w is woken immediately. Continuations are woken in
+// registration order.
+func (e *Event) AddWaiter(w Waiter) {
+	if e.fired {
+		w.Wake()
+		return
+	}
+	if e.c0 == nil && len(e.conts) == 0 {
+		e.c0 = w
+		return
+	}
+	e.conts = append(e.conts, w)
+}
+
+// funcWaiter adapts a plain func to the Waiter interface.
+type funcWaiter func()
+
+func (f funcWaiter) Wake() { f() }
 
 // OnFire registers fn to run, in kernel context, at the moment the
 // event fires — before any waiting process resumes. If the event has
-// already fired, fn runs immediately.
-func (e *Event) OnFire(fn func()) {
-	if e.fired {
-		fn()
-		return
-	}
-	e.onFire = append(e.onFire, fn)
-}
+// already fired, fn runs immediately. It is AddWaiter for callers with
+// no natural record to hang a Wake method on; hot paths prefer
+// AddWaiter, which avoids allocating a closure.
+func (e *Event) OnFire(fn func()) { e.AddWaiter(funcWaiter(fn)) }
 
 // Wait blocks the process until the event fires and returns how long the
 // process actually waited (zero if the event had already fired).
@@ -73,10 +134,39 @@ func (e *Event) Wait(p *Proc) Duration {
 		return 0
 	}
 	start := p.k.now
-	e.waiters = append(e.waiters, p)
-	p.park()
+	e.enqueue(p)
+	p.park(e.Label())
 	return p.k.now.Sub(start)
 }
 
+// Enqueue registers an already-parked process to be resumed when the
+// event fires, in FIFO order with every other blocked process. It is
+// the event-driven counterpart of Wait: continuation code running in
+// kernel context on behalf of a process that parked earlier (Proc.Park)
+// uses it to hand the wakeup over to the event without blocking
+// anything itself. It panics if the event has already fired — the
+// caller should have resumed the process directly.
+func (e *Event) Enqueue(p *Proc) {
+	if e.fired {
+		panic("sim: Enqueue on fired event (" + e.Label() + ")")
+	}
+	p.waiting = e.Label()
+	e.enqueue(p)
+}
+
+func (e *Event) enqueue(p *Proc) {
+	if e.p0 == nil && len(e.procs) == 0 {
+		e.p0 = p
+		return
+	}
+	e.procs = append(e.procs, p)
+}
+
 // Waiters reports how many processes are currently blocked on the event.
-func (e *Event) Waiters() int { return len(e.waiters) }
+func (e *Event) Waiters() int {
+	n := len(e.procs)
+	if e.p0 != nil {
+		n++
+	}
+	return n
+}

@@ -1,12 +1,29 @@
 package sim
 
-// event is a scheduled callback. Events with equal times fire in the
+// eventKind discriminates the typed event record. The kernel's hottest
+// occurrences — process resumptions and completion timers — carry a
+// pointer in the record instead of a heap-allocated closure, so
+// scheduling them allocates nothing beyond amortised slice growth.
+type eventKind uint8
+
+const (
+	evFunc eventKind = iota // run fn: general Schedule/After callbacks
+	evStep                  // resume proc: the blocking Proc API
+	evWake                  // call w.Wake(): typed continuation timers
+)
+
+// event is a scheduled occurrence. Events with equal times fire in the
 // order they were scheduled (seq breaks ties), which keeps the kernel
-// fully deterministic.
+// fully deterministic. Records live by value inside the heap's slice —
+// a pool that is reused in place as events come and go — so pushing and
+// popping moves no memory through the garbage collector.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind eventKind
+	proc *Proc
+	w    Waiter
+	fn   func()
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
@@ -43,6 +60,7 @@ func (h *eventHeap) pop() event {
 	top := h.items[0]
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
+	h.items[last] = event{} // release proc/w/fn references
 	h.items = h.items[:last]
 	h.siftDown(0)
 	return top

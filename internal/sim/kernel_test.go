@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -425,5 +426,243 @@ func TestEventOnFireAfterFired(t *testing.T) {
 	ev.OnFire(func() { ran = true })
 	if !ran {
 		t.Fatal("OnFire on a fired event must run immediately")
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {})
+	if more := k.RunUntil(25); more {
+		t.Fatal("RunUntil reported remaining events")
+	}
+	if k.Now() != 25 {
+		t.Fatalf("clock after RunUntil(25) = %v, want 25", k.Now())
+	}
+	// A deadline in the past must not move the clock backwards.
+	if k.RunUntil(20); k.Now() != 25 {
+		t.Fatalf("clock after RunUntil(20) = %v, want 25 (no rewind)", k.Now())
+	}
+	// Events scheduled at the deadline itself still run.
+	ran := false
+	k.Schedule(40, func() { ran = true })
+	k.RunUntil(40)
+	if !ran || k.Now() != 40 {
+		t.Fatalf("deadline event: ran=%v clock=%v, want true/40", ran, k.Now())
+	}
+}
+
+func TestRunUntilBoundsAdvanceFastPath(t *testing.T) {
+	k := NewKernel()
+	var resumedAt Time = -1
+	k.Spawn("p", 0, func(p *Proc) {
+		p.Advance(100) // past the deadline; must stay queued, not jump the clock
+		resumedAt = p.Now()
+	})
+	if more := k.RunUntil(30); !more {
+		t.Fatal("resume event should remain queued")
+	}
+	if resumedAt != -1 {
+		t.Fatalf("process resumed during RunUntil(30), at %v", resumedAt)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", k.Now())
+	}
+	k.Run()
+	if resumedAt != 100 {
+		t.Fatalf("process resumed at %v, want 100", resumedAt)
+	}
+}
+
+func TestDeadlockPanicNamesProcesses(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k).SetLabel("disk I/O completion")
+	q := NewWaitQueue(k).SetLabel("a freed cache frame")
+	k.Spawn("proc3", 0, func(p *Proc) { ev.Wait(p) })
+	k.Spawn("proc7", 0, func(p *Proc) { q.Sleep(p) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{
+			"2 process(es)",
+			"proc3 (waiting on disk I/O completion)",
+			"proc7 (waiting on a freed cache frame)",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("deadlock message %q missing %q", msg, want)
+			}
+		}
+	}()
+	k.Run()
+}
+
+func TestDeadlockPanicTruncatesLongList(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	for i := 0; i < 12; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), 0, func(p *Proc) { ev.Wait(p) })
+	}
+	defer func() {
+		msg, _ := recover().(string)
+		if msg == "" {
+			t.Fatal("expected string panic")
+		}
+		if !strings.Contains(msg, "… and 4 more") {
+			t.Errorf("deadlock message %q should truncate after 8 entries", msg)
+		}
+	}()
+	k.Run()
+}
+
+// waked records Wake calls for Waiter tests.
+type waked struct {
+	log   *[]string
+	label string
+}
+
+func (w *waked) Wake() { *w.log = append(*w.log, w.label) }
+
+func TestScheduleWake(t *testing.T) {
+	k := NewKernel()
+	var log []string
+	k.ScheduleWake(20, &waked{&log, "b"})
+	k.ScheduleWake(10, &waked{&log, "a"})
+	k.AfterWake(30, &waked{&log, "c"})
+	k.Run()
+	if fmt.Sprint(log) != "[a b c]" {
+		t.Fatalf("wake order: %v", log)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", k.Now())
+	}
+}
+
+func TestScheduleWakeInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleWake in the past did not panic")
+			}
+		}()
+		k.ScheduleWake(5, &waked{new([]string), "x"})
+	})
+	k.Run()
+}
+
+func TestEventAddWaiterOrdering(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var log []string
+	ev.AddWaiter(&waked{&log, "c1"})
+	ev.AddWaiter(&waked{&log, "c2"})
+	ev.AddWaiter(&waked{&log, "c3"})
+	k.Spawn("waiter", 0, func(p *Proc) {
+		ev.Wait(p)
+		log = append(log, "proc")
+	})
+	k.Spawn("firer", 0, func(p *Proc) {
+		p.Advance(5)
+		ev.Fire()
+	})
+	k.Run()
+	// Continuations fire in registration order, before any process.
+	if fmt.Sprint(log) != "[c1 c2 c3 proc]" {
+		t.Fatalf("wake order: %v", log)
+	}
+}
+
+func TestEventAddWaiterAfterFired(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	ev.Fire()
+	var log []string
+	ev.AddWaiter(&waked{&log, "late"})
+	if fmt.Sprint(log) != "[late]" {
+		t.Fatal("AddWaiter on a fired event must wake immediately")
+	}
+}
+
+func TestParkEnqueueResume(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var log []string
+	// proc parks itself; a continuation chain hands it to the event.
+	p := k.Spawn("parked", 0, func(p *Proc) {
+		p.Park("a continuation chain")
+		log = append(log, fmt.Sprintf("woke@%d", p.Now()))
+	})
+	k.After(10, func() { ev.Enqueue(p) })
+	k.After(20, func() { ev.Fire() })
+	// A second proc resumed directly from kernel context.
+	q := k.Spawn("resumed", 0, func(p *Proc) {
+		p.Park("a direct resume")
+		log = append(log, fmt.Sprintf("direct@%d", p.Now()))
+	})
+	k.After(5, func() { k.Resume(q) })
+	k.Run()
+	if fmt.Sprint(log) != "[direct@5 woke@20]" {
+		t.Fatalf("log: %v", log)
+	}
+}
+
+func TestEnqueueOnFiredEventPanics(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	ev.Fire()
+	p := k.Spawn("p", 0, func(p *Proc) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue on fired event did not panic")
+		}
+	}()
+	ev.Enqueue(p)
+}
+
+// TestAdvanceFastPathOrdering pins that the in-place clock advance is
+// observationally identical to a heap round trip: a process advancing
+// alone (fast path) and one interleaving with scheduled events (slow
+// path) see exactly the times the blocking semantics promise.
+func TestAdvanceFastPathOrdering(t *testing.T) {
+	k := NewKernel()
+	var log []string
+	k.Schedule(15, func() { log = append(log, fmt.Sprintf("cb@%d", k.Now())) })
+	k.Spawn("p", 0, func(p *Proc) {
+		p.Advance(10) // nothing due before 10: fast path
+		log = append(log, fmt.Sprintf("p@%d", p.Now()))
+		p.Advance(10) // crosses the callback at 15: must yield to it
+		log = append(log, fmt.Sprintf("p@%d", p.Now()))
+		p.Advance(10) // heap empty again: fast path
+		log = append(log, fmt.Sprintf("p@%d", p.Now()))
+	})
+	k.Run()
+	if fmt.Sprint(log) != "[p@10 cb@15 p@20 p@30]" {
+		t.Fatalf("order: %v", log)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	k := NewKernel()
+	if got := NewEvent(k).Label(); got != "an event" {
+		t.Errorf("default event label = %q", got)
+	}
+	if got := NewEvent(k).SetLabel("barrier release").Label(); got != "barrier release" {
+		t.Errorf("event label = %q", got)
+	}
+	var ev Event
+	ev.Init(k, "disk I/O completion")
+	if got := ev.Label(); got != "disk I/O completion" {
+		t.Errorf("embedded event label = %q", got)
+	}
+	if got := NewWaitQueue(k).Label(); got != "a wait queue" {
+		t.Errorf("default queue label = %q", got)
+	}
+	if got := NewWaitQueue(k).SetLabel("write-behind drain").Label(); got != "write-behind drain" {
+		t.Errorf("queue label = %q", got)
 	}
 }

@@ -4,10 +4,14 @@ package sim
 // reusable: processes join with Sleep and are released one at a time
 // (WakeOne) or all at once (WakeAll). It is the building block for
 // semaphores, buffer-availability waits, and similar multi-shot
-// conditions.
+// conditions. The backing array is retained across wakeups, so a
+// long-lived queue stops allocating once it has seen its high-water
+// mark of sleepers.
 type WaitQueue struct {
 	k     *Kernel
+	label string
 	procs []*Proc
+	head  int // index of the longest-waiting process
 }
 
 // NewWaitQueue returns an empty wait queue on kernel k.
@@ -15,37 +19,59 @@ func NewWaitQueue(k *Kernel) *WaitQueue {
 	return &WaitQueue{k: k}
 }
 
+// SetLabel names the queue in deadlock diagnostics and returns the
+// queue, so it chains with NewWaitQueue.
+func (q *WaitQueue) SetLabel(label string) *WaitQueue {
+	q.label = label
+	return q
+}
+
+// Label returns the queue's diagnostic label, or "a wait queue" if none
+// was set.
+func (q *WaitQueue) Label() string {
+	if q.label == "" {
+		return "a wait queue"
+	}
+	return q.label
+}
+
 // Len reports how many processes are blocked on the queue.
-func (q *WaitQueue) Len() int { return len(q.procs) }
+func (q *WaitQueue) Len() int { return len(q.procs) - q.head }
 
 // Sleep blocks the process until it is woken, returning the time spent
 // blocked.
 func (q *WaitQueue) Sleep(p *Proc) Duration {
 	start := p.k.now
 	q.procs = append(q.procs, p)
-	p.park()
+	p.park(q.Label())
 	return p.k.now.Sub(start)
 }
 
 // WakeOne releases the longest-waiting process, if any, and reports
 // whether one was released.
 func (q *WaitQueue) WakeOne() bool {
-	if len(q.procs) == 0 {
+	if q.head == len(q.procs) {
 		return false
 	}
-	p := q.procs[0]
-	q.procs = q.procs[1:]
-	q.k.After(0, func() { q.k.step(p) })
+	p := q.procs[q.head]
+	q.procs[q.head] = nil
+	q.head++
+	if q.head == len(q.procs) {
+		q.procs = q.procs[:0]
+		q.head = 0
+	}
+	q.k.scheduleStep(p)
 	return true
 }
 
 // WakeAll releases every blocked process in FIFO order.
 func (q *WaitQueue) WakeAll() {
-	for _, p := range q.procs {
-		proc := p
-		q.k.After(0, func() { q.k.step(proc) })
+	for i := q.head; i < len(q.procs); i++ {
+		q.k.scheduleStep(q.procs[i])
+		q.procs[i] = nil
 	}
-	q.procs = nil
+	q.procs = q.procs[:0]
+	q.head = 0
 }
 
 // Semaphore is a counting semaphore in virtual time.
@@ -59,7 +85,7 @@ func NewSemaphore(k *Kernel, count int) *Semaphore {
 	if count < 0 {
 		panic("sim: negative semaphore count")
 	}
-	return &Semaphore{count: count, queue: NewWaitQueue(k)}
+	return &Semaphore{count: count, queue: NewWaitQueue(k).SetLabel("a semaphore")}
 }
 
 // Count returns the number of currently available units.

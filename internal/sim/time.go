@@ -8,6 +8,14 @@
 // semantics — the same seed always yields the same execution — while
 // letting process code be written in a natural blocking style.
 //
+// Alongside the blocking Proc API the kernel offers an event-driven
+// continuation API — Waiter, Event.AddWaiter, Kernel.ScheduleWake —
+// that runs entirely in kernel context with no goroutine handoff and no
+// per-event closure allocation. Hot paths (I/O completion, cache
+// wakeups, prefetch chaining) use continuations; top-level process
+// logic blocks. Both styles schedule through the same typed event heap,
+// so mixing them preserves determinism.
+//
 // Time is virtual and counted in microseconds from the start of the run.
 package sim
 
