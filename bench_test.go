@@ -346,6 +346,22 @@ func BenchmarkExtHybridStudy(b *testing.B) {
 	b.ReportMetric(red, "hybrid-exec-reduction-%")
 }
 
+// BenchmarkFig08FaultRate1pct measures the robustness extension: the
+// base gw total-time cell (Fig. 8's headline quantity) under a 1%
+// injected transient read-error rate, reporting how much of
+// prefetching's benefit survives fault recovery.
+func BenchmarkFig08FaultRate1pct(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		r := RunFaultSweep(PaperScale(), []float64{0.01})
+		red = PercentReduction(r.Base[0].TotalTimeMillis(), r.Pref[0].TotalTimeMillis())
+		if r.Base[0].Faults.Disk.Transient == 0 {
+			b.Fatal("no faults injected")
+		}
+	}
+	b.ReportMetric(red, "exec-reduction-%-at-1%-faults")
+}
+
 // BenchmarkAblationBufferHome isolates the NUMA buffer-placement cost:
 // under lw every block is consumed by 19 remote nodes, so zeroing the
 // remote-buffer penalty bounds how much placement matters (paper

@@ -19,7 +19,7 @@ var renderOpts rapid.RenderOptions
 
 func main() {
 	var (
-		figArg  = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, or all")
+		figArg  = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, all, or faults (extension; not in all)")
 		scale   = flag.String("scale", "paper", "experiment scale: paper or test")
 		width   = flag.Int("w", 64, "plot width")
 		height  = flag.Int("h", 20, "plot height")
@@ -168,6 +168,16 @@ func main() {
 
 	if wanted("hybrid") {
 		fmt.Print(rapid.RunHybridStudy(opts).Report())
+	}
+
+	// The fault sweep is requested explicitly, never by "all": it is an
+	// extension beyond the paper's evaluation, and "all" reproduces the
+	// paper.
+	if want["faults"] {
+		r := rapid.RunFaultSweep(opts, rapid.DefaultFaultRates())
+		emit(r.TotalTime)
+		emit(r.Improvement)
+		emit(r.Retries)
 	}
 }
 

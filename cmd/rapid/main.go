@@ -49,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ruSet       = fs.Int("ruset", 1, "recently-used set size per process")
 		perNode     = fs.Bool("pernode", false, "strict per-node prefetch buffer limits")
 		seed        = fs.Uint64("seed", 1, "random seed")
+		faultRate   = fs.Float64("fault-rate", 0, "per-request transient read-error probability [0,1)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "seed for all fault draws")
+		killAtMS    = fs.Float64("disk-kill-at", 0, "kill disk 0 at this virtual time in ms (0 = never)")
 		traceFile   = fs.String("trace", "", "write the access trace to this file")
 		analyze     = fs.Bool("analyze", false, "print off-line trace analysis")
 		perProcOut  = fs.Bool("procstats", false, "print per-process statistics")
@@ -90,6 +93,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.RUSetSize = *ruSet
 		cfg.PerNodePrefetchLimit = *perNode
 		cfg.Seed = *seed
+		cfg.Fault = rapid.FaultConfig{
+			Seed:          *faultSeed,
+			ReadErrorRate: *faultRate,
+			KillAt:        rapid.Millis(*killAtMS),
+		}
 		if *ioBound {
 			cfg.ComputeMean = 0
 		} else if *computeMS >= 0 {

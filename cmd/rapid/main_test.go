@@ -83,6 +83,56 @@ func TestGoldenOutput(t *testing.T) {
 	}
 }
 
+// A faulted invocation must be byte-identical across repeats (the
+// fault draws are virtual-time-deterministic) and must surface the
+// fault/recovery counters in its report.
+func TestFaultedRunDeterministic(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-prefetch", "-fault-rate", "0.05", "-fault-seed", "9"}, small...)
+	a, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two identical faulted invocations diverged:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"faults", "transient", "retries"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("faulted output missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// Killing a disk mid-run completes without panic or deadlock and
+// reports the degraded-mode counters.
+func TestDiskKillRunCompletes(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-disk-kill-at", "500"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"disks alive 3/4", "degraded"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("kill-run output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// The fault flags default to a configuration that injects nothing, so
+// default output carries no fault lines.
+func TestDefaultOutputHasNoFaultLines(t *testing.T) {
+	got, _, err := runCmd(t, append([]string{"-pattern", "gw"}, small...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "faults") {
+		t.Fatalf("clean run mentions faults:\n%s", got)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	args := append([]string{"-pattern", "gw", "-prefetch", "-json"}, small...)
 	got, _, err := runCmd(t, args...)

@@ -28,6 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		scale   = fs.String("scale", "paper", "experiment scale: paper or test")
 		workers = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		faults  = fs.Bool("faults", false, "also check the fault-injection extension's claims")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,7 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts.Workers = *workers
 	fmt.Fprintf(stdout, "checking the paper's claims at %s scale (deterministic, seed %d)...\n\n", *scale, opts.Seed)
-	return verdict(rapid.VerifyClaims(opts), stdout, stderr)
+	code := verdict(rapid.VerifyClaims(opts), stdout, stderr)
+	if *faults {
+		fmt.Fprintf(stdout, "\nchecking the fault-injection extension's claims...\n\n")
+		if fc := verdict(rapid.VerifyFaultClaims(opts), stdout, stderr); fc > code {
+			code = fc
+		}
+	}
+	return code
 }
 
 // verdict renders the verification and converts it to an exit code: a

@@ -72,3 +72,22 @@ func TestRunTestScaleAudit(t *testing.T) {
 		t.Fatalf("audit output missing verdict line:\n%s", out.String())
 	}
 }
+
+// TestRunFaultAudit exercises the -faults extension audit: the default
+// 23-claim table is unchanged and the fault claims all hold.
+func TestRunFaultAudit(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full audit skipped in -short mode")
+	}
+	var out, errw strings.Builder
+	code := run([]string{"-scale=test", "-workers=4", "-faults"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("fault audit exit = %d, stderr:\n%s\nstdout:\n%s", code, errw.String(), out.String())
+	}
+	for _, want := range []string{"23 of 23 claims hold", "5 of 5 claims hold", "F4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("fault audit output missing %q:\n%s", want, out.String())
+		}
+	}
+}

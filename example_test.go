@@ -63,7 +63,7 @@ func ExampleConfig_predictor() {
 // the paper's testbed.
 func ExampleFileSystem() {
 	k := rapid.NewKernel()
-	fsys := rapid.NewFileSystem(k, rapid.FSOptions{
+	fsys := rapid.MustNewFileSystem(k, rapid.FSOptions{
 		Disks:           4,
 		CacheFrames:     16,
 		ReadaheadFrames: 8,

@@ -42,7 +42,7 @@ type jobStats struct {
 
 func run(readahead int) (rapid.Duration, jobStats) {
 	k := rapid.NewKernel()
-	fsys := rapid.NewFileSystem(k, rapid.FSOptions{
+	fsys := rapid.MustNewFileSystem(k, rapid.FSOptions{
 		Disks:           disks,
 		DiskProfile:     rapid.FixedDisk(30 * rapid.Millisecond),
 		CacheFrames:     dimBlocks + 2*workers, // dimension table + working set

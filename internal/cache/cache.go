@@ -33,6 +33,11 @@ const (
 	Invalid  State = iota // no contents; on the free list
 	Fetching              // disk transfer in flight
 	Ready                 // contents valid
+	// Failed: the fill failed and pinned waiters have not all drained
+	// yet. The buffer is already out of the block map (a retry may
+	// refetch the block immediately); the frame recycles when the last
+	// pin drops. Only fault injection produces this state.
+	Failed
 )
 
 // String names the state.
@@ -44,8 +49,17 @@ func (s State) String() string {
 		return "fetching"
 	case Ready:
 		return "ready"
+	case Failed:
+		return "failed"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// ErrorSource reports whether the transfer backing a fill failed. The
+// disk layer's *Request implements it; the cache consults it when the
+// fill's completion event fires to decide between Ready and Failed.
+type ErrorSource interface {
+	FetchError() error
 }
 
 // Buffer is one cache frame.
@@ -66,6 +80,11 @@ type Buffer struct {
 	// IODone fires when the in-flight transfer completes. Valid while
 	// Fetching (and afterwards, fired).
 	IODone *sim.Event
+	// fetchSrc classifies the transfer's outcome when IODone fires
+	// (nil when the caller cannot fail, e.g. tests driving bare
+	// events). fillErr holds the failure while waiters drain.
+	fetchSrc ErrorSource
+	fillErr  error
 	// fetchStarted records when the transfer was enqueued; fetchDone is
 	// the file system's completion estimate (exact for FIFO disks with
 	// fixed access time), used for idle-time planning.
@@ -82,11 +101,26 @@ type Buffer struct {
 	owner *Cache // for the fetch-completion continuation's Wake
 }
 
-// Wake transitions the buffer to Ready when its in-flight transfer's
-// completion event fires. The buffer itself is the continuation
-// (sim.Waiter) that BeginFetch registers, so the unready-hit wakeup
-// path allocates nothing and runs entirely in kernel context.
-func (b *Buffer) Wake() { b.owner.markReady(b) }
+// Wake transitions the buffer when its in-flight transfer's completion
+// event fires: to Ready normally, or through the failed-fill path if
+// the transfer reported an error. The buffer itself is the
+// continuation (sim.Waiter) that BeginFetch registers, so the
+// unready-hit wakeup path allocates nothing and runs entirely in
+// kernel context.
+func (b *Buffer) Wake() {
+	if b.fetchSrc != nil {
+		if err := b.fetchSrc.FetchError(); err != nil {
+			b.owner.failFetch(b, err)
+			return
+		}
+	}
+	b.owner.markReady(b)
+}
+
+// FillErr returns the error that failed the buffer's fill, or nil.
+// Waiters woken by a fill completion must check it before using the
+// contents; on error they Unpin and retry the block.
+func (b *Buffer) FillErr() error { return b.fillErr }
 
 // ID returns the frame number.
 func (b *Buffer) ID() int { return b.id }
@@ -219,6 +253,11 @@ type Stats struct {
 	// process used them: the cost of mispredictions (EvictablePrefetched
 	// only).
 	PrefetchesEvicted int64
+	// FailedFills counts fills that completed with an error (fault
+	// injection); FailedPrefetchFills is the subset that were
+	// unconsumed speculative fills, demoted silently.
+	FailedFills         int64
+	FailedPrefetchFills int64
 }
 
 // Accesses returns the total number of block read requests observed.
@@ -328,8 +367,8 @@ func (c *Cache) Contains(block int) bool { return c.byBlock[block] != nil }
 // consumes prefetch accounting on first use, and classifies the hit.
 // The caller must have obtained buf from Lookup for the same block.
 func (c *Cache) Pin(node int, buf *Buffer) (ready bool) {
-	if buf.state == Invalid {
-		panic("cache: Pin on invalid buffer")
+	if buf.state == Invalid || buf.state == Failed {
+		panic(fmt.Sprintf("cache: Pin on %v buffer", buf.state))
 	}
 	if buf.onLRU {
 		c.lru[buf.class].remove(buf)
@@ -503,10 +542,21 @@ func (c *Cache) evictUnconsumedPrefetch() *Buffer {
 // resumes). estDone is the completion estimate available at submission,
 // kept for idle-time planning.
 func (c *Cache) BeginFetch(buf *Buffer, done *sim.Event, estDone sim.Time) {
+	c.BeginFetchFrom(buf, done, estDone, nil)
+}
+
+// BeginFetchFrom is BeginFetch for transfers that can fail: src is
+// consulted when done fires, and a reported error routes the buffer
+// through the failed-fill path (waiters wake with the error via
+// FillErr; an unconsumed prefetch is demoted silently) instead of
+// Ready. If done has already fired — a submission refused by a dead
+// disk — the transition happens before BeginFetchFrom returns.
+func (c *Cache) BeginFetchFrom(buf *Buffer, done *sim.Event, estDone sim.Time, src ErrorSource) {
 	if buf.state != Fetching {
 		panic("cache: BeginFetch on buffer not in Fetching state")
 	}
 	buf.IODone = done
+	buf.fetchSrc = src
 	buf.fetchStarted = c.k.Now()
 	buf.fetchDone = estDone
 	done.AddWaiter(buf)
@@ -517,9 +567,52 @@ func (c *Cache) markReady(buf *Buffer) {
 		panic(fmt.Sprintf("cache: markReady on %v buffer", buf.state))
 	}
 	buf.state = Ready
+	buf.fetchSrc = nil
 	// A ready, unpinned, non-prefetched buffer would be reusable, but
 	// that combination cannot arise here: demand fetches stay pinned by
 	// their requester and prefetched buffers await consumption.
+}
+
+// failFetch handles a fill whose transfer completed with an error. The
+// buffer leaves the block map immediately — a retry may refetch the
+// block into a fresh frame while old waiters drain. An unconsumed
+// prefetch demotes silently (accounting dropped, frame recycled: a
+// failed speculation costs nothing but the attempt); a pinned buffer
+// parks in Failed with the error until the last waiter Unpins.
+func (c *Cache) failFetch(buf *Buffer, err error) {
+	if buf.state != Fetching {
+		panic(fmt.Sprintf("cache: failFetch on %v buffer", buf.state))
+	}
+	c.stats.FailedFills++
+	delete(c.byBlock, buf.block)
+	buf.block = -1
+	buf.fetchSrc = nil
+	if buf.prefetched {
+		// Unconsumed prefetches are never pinned (invariant), so the
+		// frame can recycle on the spot.
+		c.stats.FailedPrefetchFills++
+		buf.prefetched = false
+		c.prefetchedUnused--
+		c.perNode[buf.prefetchedBy]--
+		c.dropFromOrder(buf)
+		c.recycle(buf)
+		return
+	}
+	if buf.pins == 0 {
+		c.recycle(buf)
+		return
+	}
+	buf.state = Failed
+	buf.fillErr = err
+}
+
+// recycle returns a frame whose fill failed to its class free list.
+func (c *Cache) recycle(buf *Buffer) {
+	buf.state = Invalid
+	buf.IODone = nil
+	buf.fillErr = nil
+	c.free[buf.class] = append(c.free[buf.class], buf)
+	c.Freed.WakeAll()
 }
 
 // Unpin releases one pin. When the last pin drops and the buffer is
@@ -531,6 +624,10 @@ func (c *Cache) Unpin(buf *Buffer) {
 		panic("cache: Unpin without pin")
 	}
 	buf.pins--
+	if buf.pins == 0 && buf.state == Failed {
+		c.recycle(buf)
+		return
+	}
 	if buf.pins == 0 && buf.state == Ready && !buf.prefetched {
 		c.lru[buf.class].pushTail(buf)
 		c.Freed.WakeAll()
@@ -577,7 +674,7 @@ func (c *Cache) WastedPrefetches() int64 {
 func (c *Cache) CheckInvariants() {
 	for class := DemandClass; class <= PrefetchClass; class++ {
 		for _, b := range c.free[class] {
-			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.class != class {
+			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.class != class || b.fillErr != nil {
 				panic(fmt.Sprintf("cache: corrupt free buffer %d", b.id))
 			}
 		}
@@ -604,6 +701,12 @@ func (c *Cache) CheckInvariants() {
 		}
 		if b.onLRU && (b.pins != 0 || b.state != Ready || b.prefetched) {
 			panic(fmt.Sprintf("cache: buffer %d on LRU in wrong state", b.id))
+		}
+		if b.state == Failed && (b.block != -1 || b.pins == 0 || b.prefetched || b.onLRU || b.fillErr == nil) {
+			panic(fmt.Sprintf("cache: failed buffer %d in wrong state", b.id))
+		}
+		if b.state != Failed && b.fillErr != nil {
+			panic(fmt.Sprintf("cache: %v buffer %d carries a fill error", b.state, b.id))
 		}
 	}
 	if mapped != len(c.byBlock) {

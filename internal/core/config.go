@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/interleave"
 	"repro/internal/memory"
 	"repro/internal/pattern"
@@ -83,6 +84,17 @@ type Config struct {
 
 	// Memory is the NUMA overhead cost model.
 	Memory memory.Model
+
+	// Fault configures deterministic disk fault injection. The zero
+	// value injects nothing and leaves every run byte-identical to the
+	// fault-free testbed.
+	Fault fault.Config
+	// Retry is the virtual-time retry/backoff policy for failed demand
+	// reads. The zero value with faults enabled selects
+	// fault.DefaultRetry (unlimited attempts); a bounded MaxAttempts
+	// makes read exhaustion fail-stop, since the synthetic application
+	// has no error path.
+	Retry fault.RetryPolicy
 
 	// Seed drives computation-delay randomness (and, via Pattern.Seed,
 	// random portion geometry).
@@ -161,6 +173,20 @@ func (c *Config) Validate() error {
 	}
 	if c.Pattern.Procs != c.Procs {
 		return fmt.Errorf("core: Pattern.Procs (%d) != Procs (%d)", c.Pattern.Procs, c.Procs)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Fault.KillAt > 0 {
+		if c.Fault.KillDisk >= c.Disks {
+			return fmt.Errorf("core: Fault.KillDisk %d out of range for %d disks", c.Fault.KillDisk, c.Disks)
+		}
+		if c.Disks < 2 {
+			return fmt.Errorf("core: killing the sole disk leaves no survivor for degraded mode")
+		}
 	}
 	return nil
 }

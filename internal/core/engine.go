@@ -6,6 +6,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/interleave"
 	"repro/internal/memory"
 	"repro/internal/metrics"
@@ -31,6 +32,13 @@ type Engine struct {
 	gens   *barrier.GenCounter
 	track  memory.Tracker
 	res    *Result
+
+	// Fault injection (nil/zero unless cfg.Fault.Enabled()): the
+	// injector wired into the disks, the effective retry policy, and
+	// one backoff-jitter stream per node.
+	inj      *fault.Injector
+	retry    fault.RetryPolicy
+	retryRNG []*rng.Source
 
 	// Per-node idle-time prefetch schedulers (nil when not prefetching)
 	// and the start time of each node's action in flight.
@@ -105,6 +113,18 @@ func New(cfg Config) (*Engine, error) {
 		genEvery = cfg.SyncEveryTotal
 	}
 	e.gens = barrier.NewGenCounter(genEvery)
+	if cfg.Fault.Enabled() {
+		e.inj = fault.New(cfg.Fault, cfg.Disks)
+		e.retry = cfg.Retry
+		if !e.retry.Enabled() {
+			e.retry = fault.DefaultRetry()
+		}
+		e.disks.SetFaults(e.inj)
+		e.retryRNG = make([]*rng.Source, cfg.Procs)
+		for node := range e.retryRNG {
+			e.retryRNG[node] = e.inj.RetryStream(node)
+		}
+	}
 	for node := 0; node < cfg.Procs; node++ {
 		e.res.PerProc[node].Node = node
 	}
@@ -136,6 +156,8 @@ func (e *Engine) Run() *Result {
 	e.res.DiskResponse = e.disks.ResponseStats()
 	e.res.DiskQueueDelay = e.disks.QueueDelayStats()
 	e.res.DiskUtilization = e.disks.MeanUtilization(e.maxFinish)
+	e.res.Faults.Disk = e.disks.FaultStats()
+	e.res.Faults.AliveDisks = e.disks.AliveCount()
 	return e.res
 }
 
@@ -269,6 +291,7 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 		e.pred.ObserveDemand(node, block)
 	}
 	var buf *cache.Buffer
+	attempts := 0
 	for {
 		if buf = e.bcache.Lookup(block); buf != nil {
 			ready := e.bcache.Pin(node, buf)
@@ -285,6 +308,11 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 				wait := e.waitEvent(p, node, buf.IODone, buf.FetchDone(), IdleRemoteIO)
 				e.res.HitWaitAll.Add(wait.Millis())
 				e.res.HitWaitUnready.Add(wait.Millis())
+				if buf.FillErr() != nil {
+					// The fill we piled onto failed; back off and retry.
+					e.failedRead(p, node, buf, block, &attempts)
+					continue
+				}
 			}
 			break
 		}
@@ -300,11 +328,15 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 			e.bcache.Freed.Sleep(p)
 			continue
 		}
-		dsk, phys := e.layout.Locate(block)
+		dsk, phys := e.place(block)
 		req := e.disks.Submit(dsk, block, phys, false)
-		e.bcache.BeginFetch(nbuf, &req.Complete, req.EstDone)
+		e.bcache.BeginFetchFrom(nbuf, &req.Complete, req.EstDone, req)
 		e.trace(Event{T: p.Now(), Node: node, Kind: EvDemandFetch, Block: block, Index: idx})
 		e.waitEvent(p, node, nbuf.IODone, req.EstDone, IdleOwnIO)
+		if nbuf.FillErr() != nil {
+			e.failedRead(p, node, nbuf, block, &attempts)
+			continue
+		}
 		buf = nbuf
 		break
 	}
@@ -408,9 +440,11 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 	buf, res := e.bcache.AllocatePrefetch(node, block)
 	var cost memory.Cost
 	if res == cache.PrefetchOK {
-		dsk, phys := e.layout.Locate(block)
+		dsk, phys := e.place(block)
 		req := e.disks.Submit(dsk, block, phys, true)
-		e.bcache.BeginFetch(buf, &req.Complete, req.EstDone)
+		// A failed speculative fill demotes silently in the cache; the
+		// block is refetched on demand if ever actually read.
+		e.bcache.BeginFetchFrom(buf, &req.Complete, req.EstDone, req)
 		e.trace(Event{T: now, Node: node, Kind: EvPrefetchIssue, Block: block, Index: idx})
 		e.res.PerProc[node].PrefetchesIssued++
 		cost = e.cfg.Memory.PrefetchAction

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// place locates a block on a disk, remapping it onto a surviving disk
+// when its home disk has died. The remap models a mirror/parity
+// reconstruction read: the same physical position is read from a
+// deterministic survivor, chosen by a block-dependent stride so a dead
+// disk's load spreads over all survivors instead of piling onto one
+// neighbour. With no injector (or all disks alive) this is exactly
+// layout.Locate.
+func (e *Engine) place(block int) (dsk, phys int) {
+	dsk, phys = e.layout.Locate(block)
+	if e.inj == nil || e.disks.Alive(dsk) {
+		return dsk, phys
+	}
+	e.res.Faults.DegradedReads++
+	n := e.cfg.Disks
+	step := 1 + block%(n-1)
+	for i := 0; i < n; i++ {
+		d2 := (dsk + step + i) % n
+		if d2 != dsk && e.disks.Alive(d2) {
+			return d2, phys
+		}
+	}
+	// Unreachable while the fault model kills at most one disk;
+	// Validate guarantees a survivor exists.
+	return dsk, phys
+}
+
+// failedRead releases a buffer whose demand fill failed and backs the
+// process off in virtual time before the caller's retry. Exhausting a
+// bounded retry policy panics: the synthetic application replays a
+// fixed reference string and has no error path, so a permanent read
+// failure is a configuration choice (the default policy is unlimited
+// and, with degraded-mode remapping, always makes progress).
+func (e *Engine) failedRead(p *sim.Proc, node int, buf *cache.Buffer, block int, attempts *int) {
+	err := buf.FillErr()
+	e.bcache.Unpin(buf)
+	*attempts++
+	if e.retry.Exhausted(*attempts) {
+		panic(fmt.Sprintf("core: node %d: read of block %d failed after %d attempts: %v",
+			node, block, *attempts, err))
+	}
+	e.res.Faults.ReadRetries++
+	p.Advance(e.retry.Backoff(*attempts, e.retryRNG[node]))
+}

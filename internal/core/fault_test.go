@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+func faultConfig(kind pattern.Kind, prefetch bool, fc fault.Config) Config {
+	cfg := smallConfig(kind, 4, 200)
+	cfg.Prefetch = prefetch
+	cfg.Fault = fc
+	return cfg
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Fault.ReadErrorRate = 1.0 },
+		func(c *Config) { c.Fault.SpikeRate = -0.1 },
+		func(c *Config) { c.Retry = fault.RetryPolicy{MaxAttempts: -1} },
+		func(c *Config) { c.Fault.KillAt = sim.Second; c.Fault.KillDisk = 4 },
+		func(c *Config) {
+			c.Disks = 1
+			c.Fault = fault.Config{KillAt: sim.Second}
+		},
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig(pattern.GW, 4, 200)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: bad fault config accepted", i)
+		}
+	}
+}
+
+// A clean run must not touch the fault machinery: no injector, no
+// counters, every disk alive.
+func TestCleanRunHasInertFaultPath(t *testing.T) {
+	e, err := New(smallConfig(pattern.GW, 4, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.inj != nil {
+		t.Fatal("injector created for a zero-value fault config")
+	}
+	res := e.Run()
+	f := res.Faults
+	if f.ReadRetries != 0 || f.DegradedReads != 0 || f.Disk.Total() != 0 {
+		t.Fatalf("fault counters moved on a clean run: %+v", f)
+	}
+	if f.AliveDisks != 4 {
+		t.Fatalf("AliveDisks = %d, want 4", f.AliveDisks)
+	}
+	if res.Cache.FailedFills != 0 {
+		t.Fatalf("FailedFills = %d on a clean run", res.Cache.FailedFills)
+	}
+}
+
+// A faulted run is reproducible from its configuration alone: the same
+// seed yields an identical timeline and identical counters.
+func TestFaultedRunDeterministic(t *testing.T) {
+	for _, prefetch := range []bool{false, true} {
+		cfg := faultConfig(pattern.GW, prefetch, fault.Config{
+			Seed:            9,
+			ReadErrorRate:   0.08,
+			SpikeRate:       0.05,
+			SpikeMultiplier: 3,
+		})
+		a, b := MustRun(cfg), MustRun(cfg)
+		if a.TotalTime != b.TotalTime {
+			t.Fatalf("prefetch=%v: total time diverged: %v vs %v", prefetch, a.TotalTime, b.TotalTime)
+		}
+		if a.Faults != b.Faults {
+			t.Fatalf("prefetch=%v: fault counters diverged: %+v vs %+v", prefetch, a.Faults, b.Faults)
+		}
+		if a.Cache != b.Cache {
+			t.Fatalf("prefetch=%v: cache stats diverged: %+v vs %+v", prefetch, a.Cache, b.Cache)
+		}
+		if a.Faults.ReadRetries == 0 {
+			t.Fatalf("prefetch=%v: 8%% error rate produced no retries", prefetch)
+		}
+		if a.Faults.Disk.Transient == 0 || a.Faults.Disk.Spikes == 0 {
+			t.Fatalf("prefetch=%v: disks recorded no faults: %+v", prefetch, a.Faults.Disk)
+		}
+	}
+}
+
+// Killing a disk mid-run: the reference string still completes — every
+// read eventually lands on a survivor — and the counters say so.
+func TestDiskKillCompletesDegraded(t *testing.T) {
+	for _, prefetch := range []bool{false, true} {
+		cfg := faultConfig(pattern.GW, prefetch, fault.Config{
+			Seed:     3,
+			KillAt:   300 * sim.Millisecond,
+			KillDisk: 1,
+		})
+		res := MustRun(cfg)
+		reads := 0
+		for _, ps := range res.PerProc {
+			reads += ps.Reads
+		}
+		if reads != 200 {
+			t.Fatalf("prefetch=%v: %d of 200 reads completed", prefetch, reads)
+		}
+		if res.Faults.AliveDisks != 3 {
+			t.Fatalf("prefetch=%v: AliveDisks = %d, want 3", prefetch, res.Faults.AliveDisks)
+		}
+		if res.Faults.DegradedReads == 0 {
+			t.Fatalf("prefetch=%v: no placements remapped off the dead disk", prefetch)
+		}
+	}
+}
+
+// Prefetching under faults: failed speculative fills demote silently
+// and the run completes; demand retries recover the rest.
+func TestPrefetchSurvivesFaults(t *testing.T) {
+	cfg := faultConfig(pattern.LFP, true, fault.Config{
+		Seed:          11,
+		ReadErrorRate: 0.15,
+	})
+	cfg.Pattern.BlocksPerProc = 50
+	res := MustRun(cfg)
+	if res.Cache.FailedFills == 0 {
+		t.Fatal("15% error rate produced no failed fills")
+	}
+	if res.Cache.PrefetchesIssued == 0 {
+		t.Fatal("prefetching never ran")
+	}
+	reads := 0
+	for _, ps := range res.PerProc {
+		reads += ps.Reads
+	}
+	if reads != 4*50 {
+		t.Fatalf("%d of %d reads completed", reads, 4*50)
+	}
+}
+
+// A service timeout bounds stuck requests: the run completes and the
+// timeouts are visible in the counters.
+func TestStuckRequestsTimedOut(t *testing.T) {
+	cfg := faultConfig(pattern.GW, false, fault.Config{
+		Seed:      5,
+		StuckRate: 0.05,
+		Timeout:   120 * sim.Millisecond,
+	})
+	res := MustRun(cfg)
+	if res.Faults.Disk.Stuck == 0 {
+		t.Fatal("5% stuck rate produced no stuck requests")
+	}
+	if res.Faults.Disk.Timeouts == 0 {
+		t.Fatal("stuck requests were never timed out")
+	}
+	if res.Faults.ReadRetries == 0 {
+		t.Fatal("timed-out reads were never retried")
+	}
+	// Without the timeout the same run must be dramatically slower —
+	// each stuck request wedges its disk for the 60 s default.
+	slow := cfg
+	slow.Fault.Timeout = 0
+	if sres := MustRun(slow); sres.TotalTime < res.TotalTime {
+		t.Fatalf("untimed stuck runs should be slower: %v vs %v", sres.TotalTime, res.TotalTime)
+	}
+}

@@ -5,9 +5,24 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/disk"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+// FaultCounters aggregates the fault-injection view of one run. All
+// zero when fault injection is disabled.
+type FaultCounters struct {
+	// ReadRetries counts demand reads retried after a failed fill.
+	ReadRetries int64
+	// DegradedReads counts block placements remapped off a dead disk.
+	DegradedReads int64
+	// Disk aggregates the injected-fault counters across all disks.
+	Disk disk.FaultStats
+	// AliveDisks is the number of disks still serving requests at
+	// completion (always Config.Disks on fault-free runs).
+	AliveDisks int
+}
 
 // ProcStats is the per-processor view of a run, used to study how evenly
 // prefetching's benefits are distributed (the paper's explanation for
@@ -63,6 +78,9 @@ type Result struct {
 
 	// Cache is the cache activity snapshot.
 	Cache cache.Stats
+
+	// Faults is the fault-injection activity snapshot.
+	Faults FaultCounters
 
 	// PerProc is indexed by node.
 	PerProc []ProcStats
@@ -128,6 +146,13 @@ func (r *Result) String() string {
 			r.PrefetchActionTime.Mean(), r.Overrun.Mean())
 	} else {
 		fmt.Fprintf(&b, "  demand fetches  %10d\n", r.Cache.Misses)
+	}
+	if r.Config.Fault.Enabled() {
+		f := r.Faults
+		fmt.Fprintf(&b, "  faults          %10d transient, %d spikes, %d stuck, %d timeouts, %d dead-failed\n",
+			f.Disk.Transient, f.Disk.Spikes, f.Disk.Stuck, f.Disk.Timeouts, f.Disk.DeadFailed)
+		fmt.Fprintf(&b, "  recovery        %10d retries, %d degraded placements, %d failed fills, disks alive %d/%d\n",
+			f.ReadRetries, f.DegradedReads, r.Cache.FailedFills, f.AliveDisks, r.Config.Disks)
 	}
 	fmt.Fprintf(&b, "  idle periods    %10s\n", r.idleLine())
 	return b.String()

@@ -19,6 +19,7 @@ package disk
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -115,6 +116,7 @@ type Request struct {
 	Done     sim.Time  // when the transfer completed
 	EstDone  sim.Time  // completion estimate available at submission
 	Complete sim.Event // fires at Done
+	Err      error     // non-nil if the transfer failed (fault injection)
 
 	owner *Disk // for the completion timer's Wake
 }
@@ -151,6 +153,10 @@ type Disk struct {
 	qdelay  metrics.Summary // queue delays, ms
 	qdepth  metrics.Summary // queue depth seen at submission
 	pfCount int64
+
+	inj    *fault.Injector // nil = no fault injection (the common case)
+	dead   bool            // permanently offline (fault.Config.KillAt)
+	fstats FaultStats
 }
 
 // New returns a disk with the given id and fixed physical access time.
@@ -205,6 +211,9 @@ func (d *Disk) Submit(block, phys int, prefetch bool) *Request {
 	if phys < 0 {
 		panic(fmt.Sprintf("disk: negative physical block %d", phys))
 	}
+	if d.dead {
+		return d.submitDead(block, phys, prefetch)
+	}
 	now := d.k.Now()
 	req := &Request{
 		Disk:     d.id,
@@ -252,6 +261,9 @@ func (d *Disk) dispatch() {
 	d.pending = append(d.pending[:i], d.pending[i+1:]...)
 	now := d.k.Now()
 	service := d.profile.ServiceTime(d.headPos, req.Physical)
+	if d.inj != nil {
+		service = d.applyFaults(req, service)
+	}
 	if d.policy == SCAN && d.headPos >= 0 {
 		d.scanUp = req.Physical >= d.headPos
 	}

@@ -8,6 +8,66 @@ import (
 	"repro/internal/interleave"
 )
 
+func TestFaultSweep(t *testing.T) {
+	t.Parallel()
+	opts := TestScale()
+	rates := []float64{0, 0.05}
+	r := RunFaultSweep(opts, rates)
+	if len(r.Base) != 2 || len(r.Pref) != 2 {
+		t.Fatalf("results malformed: %d/%d", len(r.Base), len(r.Pref))
+	}
+	// The origin is the clean baseline: no injector activity at all.
+	if r.Base[0].Faults.Disk.Total() != 0 || r.Pref[0].Faults.Disk.Total() != 0 {
+		t.Fatal("rate-0 runs recorded injected faults")
+	}
+	// The faulted cell really faulted and really retried.
+	if r.Base[1].Faults.Disk.Transient == 0 || r.Base[1].Faults.ReadRetries == 0 {
+		t.Fatalf("5%% rate produced no faults/retries: %+v", r.Base[1].Faults)
+	}
+	// Faults cost time.
+	if r.Base[1].TotalTime <= r.Base[0].TotalTime {
+		t.Fatalf("faulted baseline not slower: %v vs %v", r.Base[1].TotalTime, r.Base[0].TotalTime)
+	}
+	for _, fig := range []string{"prefetch", "no prefetch"} {
+		if s := r.TotalTime.FindSeries(fig); len(s.Points) != 2 {
+			t.Fatalf("series %q malformed", fig)
+		}
+	}
+}
+
+// The fault sweep, like every batch, must be identical for any worker
+// count: fault draws are per-disk streams inside each run, so pool
+// scheduling cannot perturb them.
+func TestFaultSweepWorkerEquivalence(t *testing.T) {
+	t.Parallel()
+	rates := []float64{0, 0.05, 0.1}
+	serial := TestScale()
+	serial.Workers = 1
+	parallel := TestScale()
+	parallel.Workers = 4
+	a, b := RunFaultSweep(serial, rates), RunFaultSweep(parallel, rates)
+	if got, want := a.TotalTime.CSV(), b.TotalTime.CSV(); got != want {
+		t.Fatalf("workers 1 vs 4 diverged:\n%s\n---\n%s", want, got)
+	}
+	for i := range rates {
+		if a.Base[i].TotalTime != b.Base[i].TotalTime || a.Base[i].Faults != b.Base[i].Faults ||
+			a.Pref[i].TotalTime != b.Pref[i].TotalTime || a.Pref[i].Faults != b.Pref[i].Faults {
+			t.Fatalf("rate %v diverged across worker counts", rates[i])
+		}
+	}
+}
+
+func TestVerifyFaultClaims(t *testing.T) {
+	t.Parallel()
+	v := VerifyFaultClaims(TestScale())
+	if len(v.Claims) < 2 {
+		t.Fatalf("only %d fault claims", len(v.Claims))
+	}
+	if failed := v.Failed(); len(failed) > 0 {
+		t.Fatalf("fault claims failed:\n%s", v.Report())
+	}
+}
+
 func TestScalabilitySweep(t *testing.T) {
 	t.Parallel()
 	r := ScalabilitySweep(TestScale(), []int{4, 8})

@@ -1,0 +1,263 @@
+package fs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Satellite: Validate returns explicit typed errors for the values
+// withDefaults used to clamp silently.
+func TestOptionsValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		field string
+	}{
+		{"negative readahead", Options{Readahead: -1}, "Readahead"},
+		{"negative block size", Options{BlockSize: -512}, "BlockSize"},
+		{"negative disks", Options{Disks: -2}, "Disks"},
+		{"negative cache frames", Options{CacheFrames: -1}, "CacheFrames"},
+		{"negative readahead frames", Options{ReadaheadFrames: -3}, "ReadaheadFrames"},
+		{"negative nodes", Options{Nodes: -1}, "Nodes"},
+		{"negative disk profile", Options{DiskProfile: disk.Profile{Access: -sim.Millisecond}}, "DiskProfile"},
+		{"readahead without frames", Options{Readahead: 2}, "Readahead"},
+		{"kill out of range", Options{Disks: 2, Faults: fault.Config{KillAt: sim.Second, KillDisk: 5}}, "Faults.KillDisk"},
+		{"kill sole disk", Options{Disks: 1, Faults: fault.Config{KillAt: sim.Second}}, "Faults.KillAt"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.opts)
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %T is not *OptionError", tc.name, err)
+			continue
+		}
+		if oe.Field != tc.field {
+			t.Errorf("%s: Field = %q, want %q", tc.name, oe.Field, tc.field)
+		}
+		// New must refuse the same options with the same error.
+		if _, nerr := New(sim.NewKernel(), tc.opts); nerr == nil {
+			t.Errorf("%s: New accepted options Validate rejects", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsZeroAndFaultErrors(t *testing.T) {
+	if err := (&Options{}).Validate(); err != nil {
+		t.Fatalf("zero options must validate (defaults apply): %v", err)
+	}
+	bad := Options{Faults: fault.Config{ReadErrorRate: 1.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid fault config accepted")
+	}
+	badRetry := Options{Retry: fault.RetryPolicy{Base: sim.Second, Cap: sim.Millisecond}}
+	if err := badRetry.Validate(); err == nil {
+		t.Fatal("invalid retry policy accepted")
+	}
+}
+
+func newFaultFS(t *testing.T, k *sim.Kernel, cfg fault.Config, retry fault.RetryPolicy) *FileSystem {
+	t.Helper()
+	fsys, err := New(k, Options{
+		Disks:           4,
+		CacheFrames:     8,
+		ReadaheadFrames: 8,
+		Readahead:       2,
+		Nodes:           4,
+		Faults:          cfg,
+		Retry:           retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsys
+}
+
+// A read workload against transiently failing disks completes, counts
+// its retries, and repeats byte-identically with the same seed.
+func TestReadsRetryTransientFaults(t *testing.T) {
+	run := func() (sim.Time, Faults, disk.FaultStats) {
+		k := sim.NewKernel()
+		fsys := newFaultFS(t, k, fault.Config{Seed: 42, ReadErrorRate: 0.1}, fault.RetryPolicy{})
+		f, err := fsys.Create("data", 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 4; n++ {
+			k.Spawn("reader", 0, func(p *sim.Proc) {
+				h := f.OpenHandle(n)
+				defer h.Close()
+				for b := 0; b < f.Blocks(); b++ {
+					h.Read(p, b)
+				}
+			})
+		}
+		k.Run()
+		return k.Now(), fsys.FaultStats(), fsys.DiskFaultStats()
+	}
+	endA, faultsA, diskA := run()
+	endB, faultsB, diskB := run()
+	if endA != endB || faultsA != faultsB || diskA != diskB {
+		t.Fatalf("same seed diverged: %v/%v %+v/%+v %+v/%+v", endA, endB, faultsA, faultsB, diskA, diskB)
+	}
+	if faultsA.ReadRetries == 0 {
+		t.Fatal("10%% error rate produced no retries")
+	}
+	if diskA.Transient == 0 {
+		t.Fatal("no transient faults recorded by the disks")
+	}
+	if faultsA.DegradedReads != 0 {
+		t.Fatalf("no disk died, but DegradedReads = %d", faultsA.DegradedReads)
+	}
+}
+
+// With zero-value fault config the fault machinery must stay inert:
+// same timeline as a pre-fault run, no retry streams, no counters.
+func TestZeroFaultConfigIsInert(t *testing.T) {
+	k := sim.NewKernel()
+	fsys := MustNew(k, Options{Disks: 2, CacheFrames: 8, Nodes: 1})
+	if fsys.inj != nil {
+		t.Fatal("injector created for zero-value fault config")
+	}
+	f, _ := fsys.Create("d", 16)
+	k.Spawn("r", 0, func(p *sim.Proc) {
+		h := f.OpenHandle(0)
+		defer h.Close()
+		for b := 0; b < 16; b++ {
+			h.Read(p, b)
+		}
+	})
+	k.Run()
+	if fsys.FaultStats() != (Faults{}) {
+		t.Fatalf("fault counters moved on a clean run: %+v", fsys.FaultStats())
+	}
+	if fsys.DiskFaultStats() != (disk.FaultStats{}) {
+		t.Fatalf("disk fault counters moved: %+v", fsys.DiskFaultStats())
+	}
+}
+
+// Killing a disk mid-run: the workload still completes (degraded mode
+// remaps its blocks onto survivors) and the counters say so.
+func TestDiskDeathDegradedMode(t *testing.T) {
+	k := sim.NewKernel()
+	fsys := newFaultFS(t, k, fault.Config{Seed: 7, KillAt: 200 * sim.Millisecond, KillDisk: 1}, fault.RetryPolicy{})
+	f, err := fsys.Create("data", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for n := 0; n < 4; n++ {
+		// Disjoint portions keep every disk busy so the kill lands on
+		// in-flight work.
+		k.Spawn("reader", 0, func(p *sim.Proc) {
+			h := f.OpenHandle(n)
+			defer h.Close()
+			for b := n * 100; b < (n+1)*100; b++ {
+				h.Read(p, b)
+			}
+			done++
+		})
+	}
+	k.Run()
+	if done != 4 {
+		t.Fatalf("%d/4 readers completed", done)
+	}
+	if fsys.AliveDisks() != 3 {
+		t.Fatalf("AliveDisks = %d, want 3", fsys.AliveDisks())
+	}
+	st := fsys.FaultStats()
+	if st.DegradedReads == 0 {
+		t.Fatal("no degraded reads recorded after a disk death")
+	}
+	if fsys.DiskFaultStats().DeadFailed == 0 {
+		t.Fatal("no requests failed against the dead disk")
+	}
+}
+
+// Write-behind retries failed writes in kernel context and Sync still
+// drains; with a disk dead, writes remap onto survivors.
+func TestWriteBehindRetriesAndSyncDrains(t *testing.T) {
+	k := sim.NewKernel()
+	fsys := newFaultFS(t, k, fault.Config{Seed: 5, ReadErrorRate: 0.15, KillAt: 100 * sim.Millisecond, KillDisk: 0}, fault.RetryPolicy{})
+	f, err := fsys.Create("out", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("writer", 0, func(p *sim.Proc) {
+		h := f.OpenHandle(0)
+		defer h.Close()
+		for b := 0; b < f.Blocks(); b++ {
+			h.Write(p, b)
+		}
+		fsys.Sync(p)
+		if got := fsys.PendingWrites(); got != 0 {
+			t.Errorf("PendingWrites = %d after Sync", got)
+		}
+	})
+	k.Run()
+	if fsys.FaultStats().WriteRetries == 0 {
+		t.Fatal("no write retries under a 15%% error rate plus a dead disk")
+	}
+	if fsys.FaultStats().WritesDropped != 0 {
+		t.Fatalf("unlimited policy dropped %d writes", fsys.FaultStats().WritesDropped)
+	}
+}
+
+// A bounded retry policy surfaces the typed disk error through TryRead
+// once exhausted, and Read panics on the same condition.
+func TestTryReadExhaustsBoundedPolicy(t *testing.T) {
+	k := sim.NewKernel()
+	fsys := newFaultFS(t, k, fault.Config{Seed: 12, ReadErrorRate: 0.9}, fault.RetryPolicy{MaxAttempts: 2, Base: sim.Millisecond, Cap: 4 * sim.Millisecond})
+	f, err := fsys.Create("data", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	k.Spawn("reader", 0, func(p *sim.Proc) {
+		h := f.OpenHandle(0)
+		defer h.Close()
+		for b := 0; b < f.Blocks() && sawErr == nil; b++ {
+			_, sawErr = h.TryRead(p, b)
+		}
+	})
+	k.Run()
+	if sawErr == nil {
+		t.Fatal("90%% error rate with 2 attempts never exhausted")
+	}
+	if !errors.Is(sawErr, disk.ErrTransient) {
+		t.Fatalf("exhaustion error %v does not wrap disk.ErrTransient", sawErr)
+	}
+}
+
+// Readahead against failing disks must not wedge anything: failed
+// speculative fills demote silently and the demand path refetches.
+func TestReadaheadSurvivesFaults(t *testing.T) {
+	k := sim.NewKernel()
+	fsys := newFaultFS(t, k, fault.Config{Seed: 3, ReadErrorRate: 0.2, SpikeRate: 0.2, SpikeMultiplier: 3}, fault.RetryPolicy{})
+	f, err := fsys.Create("data", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("reader", 0, func(p *sim.Proc) {
+		h := f.OpenHandle(0)
+		defer h.Close()
+		for b := 0; b < f.Blocks(); b++ {
+			h.Read(p, b)
+		}
+	})
+	k.Run()
+	cs := fsys.CacheStats()
+	if cs.FailedFills == 0 {
+		t.Fatal("20%% error rate produced no failed fills")
+	}
+	if cs.PrefetchesIssued == 0 {
+		t.Fatal("readahead never ran")
+	}
+}

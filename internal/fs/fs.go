@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/interleave"
 	"repro/internal/memory"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -40,30 +42,98 @@ type Options struct {
 	Memory memory.Model
 	// Nodes is the number of client nodes, for cache accounting.
 	Nodes int
+	// Faults configures deterministic fault injection on the disk
+	// array. The zero value injects nothing.
+	Faults fault.Config
+	// Retry is the virtual-time backoff schedule for failed reads and
+	// write-backs. Zero value with Faults enabled means
+	// fault.DefaultRetry().
+	Retry fault.RetryPolicy
+}
+
+// OptionError is the typed validation error returned for an invalid
+// Options field: it names the field and the reason, so callers can
+// match on the field programmatically rather than parsing a message.
+type OptionError struct {
+	Field  string
+	Reason string
+}
+
+// Error formats the validation failure.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("fs: invalid option %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the options, returning an *OptionError (or a fault
+// configuration error) for the first invalid field. Zero values mean
+// "use the default" throughout and are always valid; what Validate
+// rejects are explicitly nonsensical settings — the negative counts
+// and impossible combinations that withDefaults used to clamp
+// silently.
+func (o *Options) Validate() error {
+	neg := func(field string, v int) *OptionError {
+		return &OptionError{Field: field, Reason: fmt.Sprintf("must not be negative, got %d", v)}
+	}
+	if o.Disks < 0 {
+		return neg("Disks", o.Disks)
+	}
+	if o.BlockSize < 0 {
+		return neg("BlockSize", o.BlockSize)
+	}
+	if o.CacheFrames < 0 {
+		return neg("CacheFrames", o.CacheFrames)
+	}
+	if o.ReadaheadFrames < 0 {
+		return neg("ReadaheadFrames", o.ReadaheadFrames)
+	}
+	if o.Readahead < 0 {
+		return neg("Readahead", o.Readahead)
+	}
+	if o.Nodes < 0 {
+		return neg("Nodes", o.Nodes)
+	}
+	if o.DiskProfile.Access < 0 || o.DiskProfile.SeekPerBlock < 0 || o.DiskProfile.MaxSeek < 0 {
+		return &OptionError{Field: "DiskProfile", Reason: "negative service-time parameter"}
+	}
+	if o.Readahead > 0 && o.ReadaheadFrames == 0 {
+		return &OptionError{Field: "Readahead", Reason: "positive depth needs ReadaheadFrames > 0"}
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := o.Retry.Validate(); err != nil {
+		return err
+	}
+	if o.Faults.KillAt > 0 {
+		if o.Faults.KillDisk >= max(o.Disks, 1) {
+			return &OptionError{Field: "Faults.KillDisk", Reason: fmt.Sprintf("disk %d out of range", o.Faults.KillDisk)}
+		}
+		if max(o.Disks, 1) < 2 {
+			return &OptionError{Field: "Faults.KillAt", Reason: "killing the only disk leaves no survivor to remap onto"}
+		}
+	}
+	return nil
 }
 
 func (o *Options) withDefaults() Options {
 	out := *o
-	if out.Disks <= 0 {
+	if out.Disks == 0 {
 		out.Disks = 1
 	}
-	if out.DiskProfile.Access <= 0 {
+	if out.DiskProfile.Access == 0 {
 		out.DiskProfile.Access = 30 * sim.Millisecond
 	}
-	if out.BlockSize <= 0 {
+	if out.BlockSize == 0 {
 		out.BlockSize = 1024
 	}
-	if out.CacheFrames <= 0 {
+	if out.CacheFrames == 0 {
 		out.CacheFrames = 4 * out.Disks
 	}
-	if out.Nodes <= 0 {
+	if out.Nodes == 0 {
 		out.Nodes = 1
 	}
-	if out.Readahead < 0 {
-		out.Readahead = 0
-	}
-	if out.ReadaheadFrames < 0 {
-		out.ReadaheadFrames = 0
+	if out.Faults.Enabled() && !out.Retry.Enabled() {
+		out.Retry = fault.DefaultRetry()
 	}
 	return out
 }
@@ -84,10 +154,35 @@ type FileSystem struct {
 	pendingWrites int
 	writesDrained *sim.WaitQueue
 	writesIssued  int64
+
+	// Fault machinery (nil/zero when Options.Faults is inert).
+	inj     *fault.Injector
+	retry   fault.RetryPolicy
+	wbRetry *rng.Source // jitter stream for write-back retries
+	fstats  Faults
 }
 
-// New creates an empty file system.
-func New(k *sim.Kernel, opts Options) *FileSystem {
+// Faults counts the file system's recovery activity under fault
+// injection. All zero on a fault-free run.
+type Faults struct {
+	// ReadRetries counts failed read fills that were retried.
+	ReadRetries int64
+	// WriteRetries counts failed write-backs that were resubmitted.
+	WriteRetries int64
+	// WritesDropped counts write-backs abandoned after the retry
+	// policy's MaxAttempts (unlimited policies never drop).
+	WritesDropped int64
+	// DegradedReads counts requests remapped off a dead disk onto a
+	// survivor.
+	DegradedReads int64
+}
+
+// New creates an empty file system. It returns the typed validation
+// error of Options.Validate for nonsensical settings.
+func New(k *sim.Kernel, opts Options) (*FileSystem, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	o := opts.withDefaults()
 	fs := &FileSystem{
 		k:     k,
@@ -105,6 +200,24 @@ func New(k *sim.Kernel, opts Options) *FileSystem {
 		diskAlloc: make([]int, o.Disks),
 	}
 	fs.writesDrained = sim.NewWaitQueue(k).SetLabel("write-behind drain")
+	if o.Faults.Enabled() {
+		fs.inj = fault.New(o.Faults, o.Disks)
+		fs.retry = o.Retry
+		// Stream index o.Nodes is reserved for write-back jitter;
+		// handles use 0..Nodes-1.
+		fs.wbRetry = fs.inj.RetryStream(o.Nodes)
+		fs.disks.SetFaults(fs.inj)
+	}
+	return fs, nil
+}
+
+// MustNew is New for callers with known-good options (tests,
+// examples); it panics on a validation error.
+func MustNew(k *sim.Kernel, opts Options) *FileSystem {
+	fs, err := New(k, opts)
+	if err != nil {
+		panic(err)
+	}
 	return fs
 }
 
@@ -122,6 +235,17 @@ func (fs *FileSystem) DiskStats() (served int64, meanResponseMillis float64) {
 	s := fs.disks.ResponseStats()
 	return fs.disks.TotalServed(), s.Mean()
 }
+
+// FaultStats returns the file system's recovery counters (all zero on
+// a fault-free run).
+func (fs *FileSystem) FaultStats() Faults { return fs.fstats }
+
+// DiskFaultStats returns injected-fault counters aggregated across the
+// disk array.
+func (fs *FileSystem) DiskFaultStats() disk.FaultStats { return fs.disks.FaultStats() }
+
+// AliveDisks returns how many disks are still serving requests.
+func (fs *FileSystem) AliveDisks() int { return fs.disks.AliveCount() }
 
 // File is one named, interleaved file.
 type File struct {
@@ -188,9 +312,10 @@ func (f *File) locate(block int) (diskID, phys int) {
 // client currently holds (released on the next read or Close) — the
 // toss-immediately discipline of the testbed.
 type Handle struct {
-	file *File
-	node int
-	held *cache.Buffer
+	file     *File
+	node     int
+	held     *cache.Buffer
+	retryRNG *rng.Source // jitter stream (nil without fault injection)
 }
 
 // OpenHandle returns a read handle for the client node.
@@ -198,13 +323,52 @@ func (f *File) OpenHandle(node int) *Handle {
 	if node < 0 || node >= f.fs.opts.Nodes {
 		panic(fmt.Sprintf("fs: node %d out of range [0,%d)", node, f.fs.opts.Nodes))
 	}
-	return &Handle{file: f, node: node}
+	h := &Handle{file: f, node: node}
+	if f.fs.inj != nil {
+		h.retryRNG = f.fs.inj.RetryStream(node)
+	}
+	return h
+}
+
+// place maps a logical block to (disk, physical block), remapping off
+// a dead disk onto a survivor: degraded mode models the recovery read
+// (mirror or parity reconstruction) as an ordinary access at the same
+// physical position on another disk, spread across survivors by block
+// number so one death does not funnel all its load onto one neighbour.
+func (fs *FileSystem) place(f *File, block int) (diskID, phys int) {
+	d, p := f.locate(block)
+	if fs.inj == nil || fs.disks.Alive(d) {
+		return d, p
+	}
+	n := fs.opts.Disks
+	fs.fstats.DegradedReads++
+	step := 1 + block%(n-1)
+	for i := 0; i < n; i++ {
+		d2 := (d + step + i) % n
+		if d2 != d && fs.disks.Alive(d2) {
+			return d2, p
+		}
+	}
+	return d, p // no survivor; Validate guarantees this cannot arise
 }
 
 // Read obtains the given logical block, blocking the process until the
 // data are available, and schedules readahead. It returns the time the
-// read took.
+// read took. Under fault injection, failed fills are retried with the
+// configured backoff; Read panics if the retry policy gives up (only
+// possible with MaxAttempts set — use TryRead to observe the error).
 func (h *Handle) Read(p *sim.Proc, block int) sim.Duration {
+	d, err := h.TryRead(p, block)
+	if err != nil {
+		panic(fmt.Sprintf("fs: %v", err))
+	}
+	return d
+}
+
+// TryRead is Read returning the error when the retry policy's
+// MaxAttempts is exhausted instead of panicking. The wrapped cause
+// satisfies errors.Is against the disk package's typed errors.
+func (h *Handle) TryRead(p *sim.Proc, block int) (sim.Duration, error) {
 	f := h.file
 	if block < 0 || block >= f.Blocks() {
 		panic(fmt.Sprintf("fs: read of block %d outside file %q (%d blocks)", block, f.name, f.Blocks()))
@@ -213,12 +377,19 @@ func (h *Handle) Read(p *sim.Proc, block int) sim.Duration {
 	h.release()
 	fs := f.fs
 	id := f.globalID(block)
+	attempts := 0
 	for {
 		if buf := fs.bc.Lookup(id); buf != nil {
 			ready := fs.bc.Pin(h.node, buf)
 			fs.work(p, fs.opts.Memory.Hit)
 			if !ready {
 				buf.IODone.Wait(p)
+				if err := buf.FillErr(); err != nil {
+					if giveUp := h.failedRead(p, buf, block, err, &attempts); giveUp != nil {
+						return p.Now().Sub(start), giveUp
+					}
+					continue
+				}
 			}
 			h.held = buf
 			break
@@ -232,15 +403,39 @@ func (h *Handle) Read(p *sim.Proc, block int) sim.Duration {
 			fs.bc.Freed.Sleep(p)
 			continue
 		}
-		d, phys := f.locate(block)
+		d, phys := fs.place(f, block)
 		req := fs.disks.Submit(d, id, phys, false)
-		fs.bc.BeginFetch(buf, &req.Complete, req.EstDone)
+		fs.bc.BeginFetchFrom(buf, &req.Complete, req.EstDone, req)
 		buf.IODone.Wait(p)
+		if err := buf.FillErr(); err != nil {
+			if giveUp := h.failedRead(p, buf, block, err, &attempts); giveUp != nil {
+				return p.Now().Sub(start), giveUp
+			}
+			continue
+		}
 		h.held = buf
 		break
 	}
 	f.readahead(p, h.node, block)
-	return p.Now().Sub(start)
+	return p.Now().Sub(start), nil
+}
+
+// failedRead releases a failed fill and sleeps the retry backoff in
+// virtual time. It returns a non-nil error when the policy is
+// exhausted; otherwise the caller loops to refetch.
+func (h *Handle) failedRead(p *sim.Proc, buf *cache.Buffer, block int, err error, attempts *int) error {
+	fs := h.file.fs
+	fs.bc.Unpin(buf)
+	*attempts++
+	if fs.retry.Exhausted(*attempts) {
+		return fmt.Errorf("fs: read of block %d of %q failed after %d attempts: %w",
+			block, h.file.name, *attempts, err)
+	}
+	fs.fstats.ReadRetries++
+	if d := fs.retry.Backoff(*attempts, h.retryRNG); d > 0 {
+		p.Advance(d)
+	}
+	return nil
 }
 
 // readahead schedules up to Readahead subsequent blocks without waiting
@@ -262,9 +457,11 @@ func (f *File) readahead(p *sim.Proc, node, after int) {
 			return
 		}
 		fs.work(p, fs.opts.Memory.PrefetchAction)
-		d, phys := f.locate(b)
+		d, phys := fs.place(f, b)
 		req := fs.disks.Submit(d, id, phys, true)
-		fs.bc.BeginFetch(buf, &req.Complete, req.EstDone)
+		// A failed speculative fill demotes silently in the cache;
+		// readahead never retries — the block comes back on demand.
+		fs.bc.BeginFetchFrom(buf, &req.Complete, req.EstDone, req)
 	}
 }
 
@@ -292,6 +489,14 @@ func (h *Handle) Write(p *sim.Proc, block int) sim.Duration {
 				// Overwriting a block whose read is still in flight:
 				// wait for the frame to settle, then replace contents.
 				buf.IODone.Wait(p)
+				if buf.FillErr() != nil {
+					// The in-flight read failed; the whole-block write
+					// never needed its data — drop the failed frame
+					// and install fresh contents. No backoff: nothing
+					// is being retried.
+					fs.bc.Unpin(buf)
+					continue
+				}
 			}
 			break
 		}
@@ -309,11 +514,12 @@ func (h *Handle) Write(p *sim.Proc, block int) sim.Duration {
 	h.held = buf
 	// Write-behind: keep the frame resident until the disk write lands.
 	fs.bc.Retain(buf)
-	d, phys := f.locate(block)
-	req := fs.disks.Submit(d, id, phys, false)
+	d, phys := fs.place(f, block)
 	fs.pendingWrites++
 	fs.writesIssued++
-	req.Complete.AddWaiter(&writeback{fs: fs, buf: buf})
+	w := &writeback{fs: fs, f: f, buf: buf, block: block}
+	w.req = fs.disks.Submit(d, id, phys, false)
+	w.req.Complete.AddWaiter(w)
 	return p.Now().Sub(start)
 }
 
@@ -321,18 +527,49 @@ func (h *Handle) Write(p *sim.Proc, block int) sim.Duration {
 // disk completion: it releases the retained frame and, when the last
 // outstanding write lands, wakes Sync callers. Running it in kernel
 // context keeps write-behind off the goroutine-handoff path entirely.
+// Under fault injection it is also the retry loop: a failed write is
+// resubmitted after a virtual-time backoff (a kernel timer, since no
+// process is attached to a write-behind).
 type writeback struct {
-	fs  *FileSystem
-	buf *cache.Buffer
+	fs      *FileSystem
+	f       *File
+	buf     *cache.Buffer
+	block   int // logical block within f
+	req     *disk.Request
+	retries int
 }
 
 func (w *writeback) Wake() {
 	fs := w.fs
+	if w.req.Err != nil && fs.retryWrite(w) {
+		return
+	}
 	fs.bc.Unpin(w.buf)
 	fs.pendingWrites--
 	if fs.pendingWrites == 0 {
 		fs.writesDrained.WakeAll()
 	}
+}
+
+// retryWrite resubmits a failed write-back after backoff. It returns
+// false when the retry policy is exhausted: the write is dropped (and
+// counted) so Sync cannot hang on an unwritable block.
+func (fs *FileSystem) retryWrite(w *writeback) bool {
+	if fs.inj == nil {
+		return false
+	}
+	w.retries++
+	if fs.retry.Exhausted(w.retries + 1) {
+		fs.fstats.WritesDropped++
+		return false
+	}
+	fs.fstats.WriteRetries++
+	fs.k.After(fs.retry.Backoff(w.retries, fs.wbRetry), func() {
+		d, phys := fs.place(w.f, w.block)
+		w.req = fs.disks.Submit(d, w.buf.Block(), phys, false)
+		w.req.Complete.AddWaiter(w)
+	})
+	return true
 }
 
 // Sync blocks the process until every outstanding write-back has

@@ -8,7 +8,7 @@ import (
 )
 
 func newFS(k *sim.Kernel, readahead int) *FileSystem {
-	return New(k, Options{
+	return MustNew(k, Options{
 		Disks:           4,
 		BlockSize:       1024,
 		CacheFrames:     8,
@@ -201,7 +201,10 @@ func TestHandleValidation(t *testing.T) {
 
 func TestDefaultsApplied(t *testing.T) {
 	k := sim.NewKernel()
-	fs := New(k, Options{})
+	fs, err := New(k, Options{})
+	if err != nil {
+		t.Fatalf("New with zero options: %v", err)
+	}
 	if fs.opts.Disks != 1 || fs.opts.BlockSize != 1024 || fs.opts.CacheFrames != 4 {
 		t.Fatalf("defaults: %+v", fs.opts)
 	}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/interleave"
 	"repro/internal/memory"
@@ -110,6 +111,14 @@ type (
 	// DiskProfile is a disk service-time model (fixed access plus an
 	// optional seek component).
 	DiskProfile = disk.Profile
+
+	// FaultConfig describes the deterministic fault model (transient
+	// errors, latency spikes, stuck requests, disk death) injected
+	// under the disk layer. The zero value injects nothing.
+	FaultConfig = fault.Config
+	// RetryPolicy is the capped-exponential virtual-time backoff
+	// schedule used to retry failed reads and write-backs.
+	RetryPolicy = fault.RetryPolicy
 
 	// Figure is plot data for one reproduced figure.
 	Figure = metrics.Figure
@@ -258,6 +267,24 @@ func VerifyClaims(opts SuiteOptions) *experiment.Verification {
 	return experiment.Verify(opts)
 }
 
+// RunFaultSweep measures the base gw cell under a sweep of injected
+// transient-fault rates, with and without prefetching — the robustness
+// extension study.
+func RunFaultSweep(opts SuiteOptions, rates []float64) *experiment.FaultSweepResult {
+	return experiment.RunFaultSweep(opts, rates)
+}
+
+// DefaultFaultRates is the standard fault-rate sweep (0 through 10%).
+func DefaultFaultRates() []float64 { return experiment.DefaultFaultRates() }
+
+// VerifyFaultClaims machine-checks the robustness extension's claims
+// (determinism, clean-path identity, fault cost, prefetch masking, and
+// degraded-mode completion), separately from the paper's 23-claim
+// audit.
+func VerifyFaultClaims(opts SuiteOptions) *experiment.Verification {
+	return experiment.VerifyFaultClaims(opts)
+}
+
 // RunHybridStudy measures a hybrid workload (half lfp, half lw) against
 // its pure components — the §IV-B combination the paper expects not to
 // matter much.
@@ -304,12 +331,21 @@ func Millis(ms float64) Duration { return sim.Millis(ms) }
 // NewKernel returns a fresh simulation kernel with the clock at zero.
 func NewKernel() *Kernel { return sim.NewKernel() }
 
-// NewFileSystem creates a parallel file system on the kernel.
-func NewFileSystem(k *Kernel, opts FSOptions) *FileSystem { return fs.New(k, opts) }
+// NewFileSystem creates a parallel file system on the kernel. It
+// returns fs.Options.Validate's typed error for nonsensical options.
+func NewFileSystem(k *Kernel, opts FSOptions) (*FileSystem, error) { return fs.New(k, opts) }
+
+// MustNewFileSystem is NewFileSystem for known-good options; it panics
+// on a validation error.
+func MustNewFileSystem(k *Kernel, opts FSOptions) *FileSystem { return fs.MustNew(k, opts) }
 
 // FixedDisk returns a disk profile with the paper's constant service
 // time.
 func FixedDisk(access Duration) DiskProfile { return disk.Fixed(access) }
+
+// DefaultRetry returns the standard fault-recovery backoff schedule:
+// unlimited attempts, 5 ms doubling to a 160 ms cap, in virtual time.
+func DefaultRetry() RetryPolicy { return fault.DefaultRetry() }
 
 // DefaultMemory returns the NUMA cost model calibrated against the
 // paper's reported overheads.
