@@ -64,6 +64,8 @@ func main() {
 		label     = flag.String("label", "", "free-form label recorded in the baseline")
 		shared    = flag.Bool("shared", false, "run all benchmarks in one process (shared lazy caches)")
 		dir       = flag.String("C", ".", "directory to run go test from (module root)")
+		cpuProf   = flag.String("cpuprofile", "", "write CPU profiles: <path> shared, <path>.<Benchmark> isolated")
+		memProf   = flag.String("memprofile", "", "write heap profiles: <path> shared, <path>.<Benchmark> isolated")
 	)
 	flag.Parse()
 
@@ -77,14 +79,16 @@ func main() {
 
 	var results []Result
 	if *shared {
-		results, err = runBench(*dir, *pkg, *benchRE, *benchtime)
+		results, err = runBench(*dir, *pkg, *benchRE, *benchtime, *cpuProf, *memProf)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
 		for _, name := range names {
 			fmt.Fprintf(os.Stderr, "bench: %s\n", name)
-			rs, err := runBench(*dir, *pkg, "^"+name+"$", *benchtime)
+			// One process per benchmark, so each gets its own profile file.
+			rs, err := runBench(*dir, *pkg, "^"+name+"$", *benchtime,
+				suffixProfile(*cpuProf, name), suffixProfile(*memProf, name))
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
@@ -140,11 +144,28 @@ func listBenchmarks(dir, pkg, re string) ([]string, error) {
 	return names, nil
 }
 
+// suffixProfile appends the benchmark name to a profile path, keeping
+// per-benchmark profiles apart under the isolated (one process per
+// benchmark) mode. Empty stays empty.
+func suffixProfile(path, bench string) string {
+	if path == "" {
+		return ""
+	}
+	return path + "." + bench
+}
+
 // runBench executes one `go test -bench` invocation and parses every
 // result line it prints.
-func runBench(dir, pkg, re, benchtime string) ([]Result, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", re, "-benchtime", benchtime, "-benchmem", pkg)
+func runBench(dir, pkg, re, benchtime, cpuProf, memProf string) ([]Result, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", re, "-benchtime", benchtime, "-benchmem"}
+	if cpuProf != "" {
+		args = append(args, "-cpuprofile", cpuProf)
+	}
+	if memProf != "" {
+		args = append(args, "-memprofile", memProf)
+	}
+	cmd := exec.Command("go", append(args, pkg)...)
 	cmd.Dir = dir
 	var buf bytes.Buffer
 	cmd.Stdout = &buf

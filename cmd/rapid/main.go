@@ -17,6 +17,7 @@ import (
 	"os"
 
 	rapid "repro"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		killAtMS    = fs.Float64("disk-kill-at", 0, "kill disk 0 at this virtual time in ms (0 = never)")
 		traceFile   = fs.String("trace", "", "write the access trace to this file")
 		analyze     = fs.Bool("analyze", false, "print off-line trace analysis")
+		spansFile   = fs.String("trace-out", "", "write the observability span trace to this file")
+		perfFile    = fs.String("perfetto", "", "write a Perfetto trace-event JSON to this file")
+		timeline    = fs.Bool("timeline", false, "print the ASCII span timeline")
 		perProcOut  = fs.Bool("procstats", false, "print per-process statistics")
 		hist        = fs.Bool("hist", false, "print the block read time distribution")
 		asJSON      = fs.Bool("json", false, "emit the full result as JSON")
@@ -130,6 +134,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rec = trace.NewRecorder()
 		cfg.Trace = rec.Hook()
 	}
+	var spans *obs.Recorder
+	if *spansFile != "" || *perfFile != "" || *timeline {
+		spans = obs.NewRecorder()
+		cfg.Obs = spans
+	}
 	res, err := rapid.Run(cfg)
 	if err != nil {
 		return err
@@ -168,6 +177,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *analyze {
 			fmt.Fprint(stdout, trace.Analyze(rec.Events()))
+		}
+	}
+	if spans != nil {
+		if *spansFile != "" {
+			f, err := os.Create(*spansFile)
+			if err != nil {
+				return err
+			}
+			if _, err := spans.WriteTo(f); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "spans: %d -> %s\n", len(spans.Spans), *spansFile)
+		}
+		if *perfFile != "" {
+			f, err := os.Create(*perfFile)
+			if err != nil {
+				return err
+			}
+			if err := spans.WritePerfetto(f); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "perfetto: %d spans -> %s\n", len(spans.Spans), *perfFile)
+		}
+		if *timeline {
+			fmt.Fprint(stdout, spans.Timeline(obs.TimelineOptions{}))
 		}
 	}
 	return nil

@@ -169,3 +169,25 @@ func TestTraceAndAnalyze(t *testing.T) {
 		t.Fatalf("trace confirmation missing:\n%s", got)
 	}
 }
+
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	spans := filepath.Join(dir, "run.spans")
+	perf := filepath.Join(dir, "run.json")
+	args := append([]string{"-pattern", "gw", "-sync", "each", "-prefetch",
+		"-trace-out", spans, "-perfetto", perf, "-timeline"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{spans, perf} {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+	}
+	for _, want := range []string{"spans:", "perfetto:", "timeline", "legend:", "proc0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}

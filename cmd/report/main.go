@@ -12,6 +12,7 @@ import (
 
 	rapid "repro"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale   = fs.String("scale", "paper", "experiment scale: paper or test")
 		workers = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		faults  = fs.Bool("faults", false, "also check the fault-injection extension's claims")
+		verbose = fs.Bool("v", false, "include per-claim run statistics (events, disk requests, hit ratio, wall clock)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,11 +46,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.Workers = *workers
+	if *verbose {
+		// The counter sink is atomic, so the claim studies can keep using
+		// the full worker pool; the verdicts themselves are unaffected.
+		opts.Obs = &obs.CounterSink{}
+	}
 	fmt.Fprintf(stdout, "checking the paper's claims at %s scale (deterministic, seed %d)...\n\n", *scale, opts.Seed)
-	code := verdict(rapid.VerifyClaims(opts), stdout, stderr)
+	code := verdict(rapid.VerifyClaims(opts), *verbose, stdout, stderr)
 	if *faults {
 		fmt.Fprintf(stdout, "\nchecking the fault-injection extension's claims...\n\n")
-		if fc := verdict(rapid.VerifyFaultClaims(opts), stdout, stderr); fc > code {
+		if fc := verdict(rapid.VerifyFaultClaims(opts), *verbose, stdout, stderr); fc > code {
 			code = fc
 		}
 	}
@@ -57,8 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // verdict renders the verification and converts it to an exit code: a
 // single failing claim makes the whole audit fail.
-func verdict(v *experiment.Verification, stdout, stderr io.Writer) int {
-	fmt.Fprint(stdout, v.Report())
+func verdict(v *experiment.Verification, verbose bool, stdout, stderr io.Writer) int {
+	if verbose {
+		fmt.Fprint(stdout, v.ReportVerbose())
+	} else {
+		fmt.Fprint(stdout, v.Report())
+	}
 	if failed := v.Failed(); len(failed) > 0 {
 		fmt.Fprintf(stderr, "report: %d of %d claims FAILED\n", len(failed), len(v.Claims))
 		return 1

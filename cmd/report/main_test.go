@@ -17,7 +17,7 @@ func TestVerdictExitCodes(t *testing.T) {
 		{ID: "b", Paper: "p", Measured: "m", Pass: true},
 	}}
 	var out, errw strings.Builder
-	if code := verdict(pass, &out, &errw); code != 0 {
+	if code := verdict(pass, false, &out, &errw); code != 0 {
 		t.Fatalf("all-pass verdict exit = %d, want 0", code)
 	}
 	if errw.Len() != 0 {
@@ -30,7 +30,7 @@ func TestVerdictExitCodes(t *testing.T) {
 	}}
 	out.Reset()
 	errw.Reset()
-	if code := verdict(fail, &out, &errw); code != 1 {
+	if code := verdict(fail, false, &out, &errw); code != 1 {
 		t.Fatalf("failing verdict exit = %d, want 1", code)
 	}
 	if !strings.Contains(errw.String(), "1 of 2 claims FAILED") {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	rapid "repro"
 )
@@ -20,8 +22,27 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV data")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "report run completions to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
+		// Worker bodies carry pprof labels (run index, config label), so
+		// this profile can be sliced per experimental cell. LIFO: stop
+		// (and flush) the profile before the file closes.
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	var opts rapid.SuiteOptions
 	switch *scale {
@@ -101,5 +122,22 @@ func main() {
 			}
 		}
 		fmt.Printf("\nwrote %d CSV files to %s\n", len(figs), *csvDir)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle retained memory before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,371 @@
+// Command trace records and inspects virtual-time observability traces
+// of RAPID Transit runs (see internal/obs). It turns "the total moved"
+// into "which processor spent its time where": record a run's spans,
+// summarize the idle-time accounting, render an ASCII timeline, export
+// Chrome/Perfetto JSON for ui.perfetto.dev, and diff two runs'
+// accounting (prefetch on vs. off, faulted vs. clean).
+//
+// Subcommands:
+//
+//	trace record  [run flags] -o run.spans     record one run's span trace
+//	trace summary run.spans                    counters + idle-time accounting
+//	trace timeline [filters] run.spans         ASCII Gantt timeline
+//	trace dump    [filters] run.spans          filtered span listing
+//	trace perfetto -o run.json run.spans       export Perfetto trace-event JSON
+//	trace verify  run.json|run.spans           validate Perfetto JSON structure
+//	trace diff    a.spans b.spans              accounting diff (b relative to a)
+//
+// Examples:
+//
+//	trace record -pattern gw -sync each -prefetch -o pf.spans
+//	trace record -pattern gw -sync each -o nopf.spans
+//	trace diff nopf.spans pf.spans
+//	trace timeline -proc 3 -to 200000 pf.spans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	rapid "repro"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, factored out of main so tests can drive it
+// with arbitrary arguments and capture its output.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: trace {record|summary|timeline|dump|perfetto|verify|diff} [flags] [files]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "record":
+		return cmdRecord(rest, stdout, stderr)
+	case "summary":
+		return cmdSummary(rest, stdout, stderr)
+	case "timeline":
+		return cmdTimeline(rest, stdout, stderr)
+	case "dump":
+		return cmdDump(rest, stdout, stderr)
+	case "perfetto":
+		return cmdPerfetto(rest, stdout, stderr)
+	case "verify":
+		return cmdVerify(rest, stdout, stderr)
+	case "diff":
+		return cmdDiff(rest, stdout, stderr)
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// cmdRecord runs one experiment with a span recorder installed and
+// writes the trace. The run flags mirror cmd/rapid's essentials.
+func cmdRecord(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		patternName = fs.String("pattern", "gw", "access pattern: lfp, lrp, lw, gfp, grp, gw")
+		syncName    = fs.String("sync", "none", "sync style: each, total, portion, none")
+		prefetch    = fs.Bool("prefetch", false, "enable prefetching")
+		ioBound     = fs.Bool("iobound", false, "no computation per block (I/O bound)")
+		procs       = fs.Int("procs", 20, "number of processors (and disks)")
+		blocks      = fs.Int("blocks", 2000, "total blocks read (global patterns)")
+		perProc     = fs.Int("perproc", 100, "blocks read per process (local patterns)")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		faultRate   = fs.Float64("fault-rate", 0, "per-request transient read-error probability [0,1)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "seed for all fault draws")
+		out         = fs.String("o", "", "output span-trace file (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	kind, err := rapid.ParsePatternKind(*patternName)
+	if err != nil {
+		return err
+	}
+	style, err := rapid.ParseSyncStyle(*syncName)
+	if err != nil {
+		return err
+	}
+	cfg := rapid.DefaultConfig(kind)
+	cfg.Procs = *procs
+	cfg.Disks = *procs
+	cfg.Pattern.Procs = *procs
+	cfg.Pattern.TotalBlocks = *blocks
+	cfg.Pattern.BlocksPerProc = *perProc
+	cfg.Pattern.Seed = *seed
+	cfg.Sync = style
+	cfg.Prefetch = *prefetch
+	cfg.Seed = *seed
+	cfg.Fault = rapid.FaultConfig{Seed: *faultSeed, ReadErrorRate: *faultRate}
+	if *ioBound {
+		cfg.ComputeMean = 0
+	}
+	rec := obs.NewRecorder()
+	cfg.Obs = rec
+	res, err := rapid.Run(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if _, err := rec.WriteTo(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %s: %d spans, %d events processed, total time %v -> %s\n",
+		cfg.Label(), len(rec.Spans), rec.Counters.Get(obs.CtrKernelEvents), res.TotalTime, *out)
+	return nil
+}
+
+func loadTrace(path string) (*obs.Recorder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.Read(f)
+}
+
+func cmdSummary(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summary: want exactly one trace file")
+	}
+	rec, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d spans on %d tracks, horizon %d us\n",
+		len(rec.Spans), len(rec.Tracks()), rec.End())
+	fmt.Fprintln(stdout, "counters:")
+	for c, v := range rec.Counters {
+		if v != 0 {
+			fmt.Fprintf(stdout, "  %-26s %12d\n", obs.Counter(c), v)
+		}
+	}
+	fmt.Fprintln(stdout, "idle-time accounting (us):")
+	fmt.Fprint(stdout, rec.Account().Report())
+	return nil
+}
+
+// spanFilters is the shared filter flag set for timeline and dump.
+type spanFilters struct {
+	proc, disk int
+	span       string
+	from, to   int64
+	width      int
+}
+
+func (sf *spanFilters) register(fs *flag.FlagSet) {
+	fs.IntVar(&sf.proc, "proc", -1, "only this processor's track")
+	fs.IntVar(&sf.disk, "disk", -1, "only this disk's track")
+	fs.StringVar(&sf.span, "span", "", "only spans of this kind (e.g. demand-wait)")
+	fs.Int64Var(&sf.from, "from", 0, "window start, virtual us")
+	fs.Int64Var(&sf.to, "to", 0, "window end, virtual us (0 = trace end)")
+	fs.IntVar(&sf.width, "width", 96, "timeline columns")
+}
+
+// tracks converts -proc/-disk into a track list (nil = all tracks).
+func (sf *spanFilters) tracks() []obs.Track {
+	var ts []obs.Track
+	if sf.proc >= 0 {
+		ts = append(ts, obs.ProcTrack(sf.proc))
+	}
+	if sf.disk >= 0 {
+		ts = append(ts, obs.DiskTrack(sf.disk))
+	}
+	return ts
+}
+
+func cmdTimeline(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace timeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var sf spanFilters
+	sf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeline: want exactly one trace file")
+	}
+	rec, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, rec.Timeline(obs.TimelineOptions{
+		From: sf.from, To: sf.to, Tracks: sf.tracks(), Width: sf.width,
+	}))
+	return nil
+}
+
+func cmdDump(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace dump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var sf spanFilters
+	sf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump: want exactly one trace file")
+	}
+	rec, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var kind obs.SpanKind
+	haveKind := false
+	if sf.span != "" {
+		kind, err = obs.ParseSpanKind(sf.span)
+		if err != nil {
+			return err
+		}
+		haveKind = true
+	}
+	to := sf.to
+	if to <= 0 {
+		to = rec.End()
+	}
+	want := sf.tracks()
+	n := 0
+	for _, s := range rec.Spans {
+		if haveKind && s.Kind != kind {
+			continue
+		}
+		if s.End <= sf.from || s.Start >= to {
+			continue
+		}
+		if want != nil {
+			found := false
+			for _, t := range want {
+				if t == s.Track {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		fmt.Fprintf(stdout, "%-8s %-15s %10d %10d %8d  block=%-6d arg=%d\n",
+			s.Track, s.Kind, s.Start, s.End, s.Dur(), s.Block, s.Arg)
+		n++
+	}
+	fmt.Fprintf(stdout, "%d spans\n", n)
+	return nil
+}
+
+func cmdPerfetto(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace perfetto", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output JSON file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("perfetto: want exactly one trace file")
+	}
+	rec, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WritePerfetto(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "perfetto: %d spans -> %s (open in ui.perfetto.dev)\n", len(rec.Spans), *out)
+	}
+	return nil
+}
+
+// cmdVerify validates Perfetto JSON structure: X events nest per
+// track, async pairs match. A .spans file is converted first, so both
+// artifact kinds can be checked.
+func cmdVerify(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: want exactly one file")
+	}
+	path := fs.Arg(0)
+	var jsonSrc io.Reader
+	if strings.HasSuffix(path, ".json") {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonSrc = f
+	} else {
+		rec, err := loadTrace(path)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		if err := rec.WritePerfetto(&sb); err != nil {
+			return err
+		}
+		jsonSrc = strings.NewReader(sb.String())
+	}
+	summary, err := obs.ValidatePerfetto(jsonSrc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %s\n", path, summary)
+	return nil
+}
+
+func cmdDiff(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two trace files")
+	}
+	a, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := loadTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "idle-time accounting: %s -> %s (total us across procs)\n", fs.Arg(0), fs.Arg(1))
+	fmt.Fprint(stdout, obs.Diff(a.Account(), b.Account(), "a", "b"))
+	return nil
+}

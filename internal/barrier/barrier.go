@@ -14,6 +14,7 @@ package barrier
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -65,7 +66,15 @@ type Barrier struct {
 	release *sim.Event
 	// counts for introspection
 	generations int
+
+	obs      obs.Sink // nil = no observability (the common case)
+	genStart sim.Time // first arrival of the current generation
 }
+
+// SetObserver installs an observability sink: one barrier-generation
+// span (first arrival to release — the paper's barrier skew) and a
+// generation counter per release.
+func (b *Barrier) SetObserver(s obs.Sink) { b.obs = s }
 
 // New returns a barrier for the given number of parties.
 func New(k *sim.Kernel, parties int) *Barrier {
@@ -95,6 +104,9 @@ func (b *Barrier) Arrive() (release *sim.Event, last bool) {
 		panic("barrier: Arrive with no parties")
 	}
 	b.arrived++
+	if b.arrived == 1 {
+		b.genStart = b.k.Now()
+	}
 	ev := b.release
 	if b.arrived == b.parties {
 		b.open()
@@ -119,6 +131,14 @@ func (b *Barrier) Withdraw() {
 
 func (b *Barrier) open() {
 	b.generations++
+	if b.obs != nil {
+		b.obs.Span(obs.Span{
+			Track: obs.BarrierTrack(), Kind: obs.SpanBarrierGen,
+			Start: int64(b.genStart), End: int64(b.k.Now()),
+			Block: -1, Arg: int64(b.parties),
+		})
+		b.obs.Add(obs.CtrBarrierGens, 1)
+	}
 	b.arrived = 0
 	ev := b.release
 	b.release = sim.NewEvent(b.k).SetLabel("barrier release")

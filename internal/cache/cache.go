@@ -22,6 +22,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -304,8 +305,32 @@ type Cache struct {
 
 	stats Stats
 
+	obs obs.Sink // nil = no observability (the common case)
+
 	// Freed wakes processes waiting for a frame to become available.
 	Freed *sim.WaitQueue
+}
+
+// SetObserver installs an observability sink: hit/miss/prefetch
+// counters on the access paths and a fill span (fetch begin to
+// ready/failed, on the home node's track) for every completed fill.
+func (c *Cache) SetObserver(s obs.Sink) { c.obs = s }
+
+// fillSpan reports a completed fill. Arg bit 0 marks an (unconsumed)
+// prefetch fill, bit 1 a failed one.
+func (c *Cache) fillSpan(buf *Buffer, block int, failed bool) {
+	var arg int64
+	if buf.prefetched {
+		arg = 1
+	}
+	if failed {
+		arg |= 2
+	}
+	c.obs.Span(obs.Span{
+		Track: obs.ProcTrack(buf.home), Kind: obs.SpanCacheFill,
+		Start: int64(buf.fetchStarted), End: int64(c.k.Now()),
+		Block: block, Arg: arg,
+	})
 }
 
 // New creates a cache.
@@ -379,6 +404,9 @@ func (c *Cache) Pin(node int, buf *Buffer) (ready bool) {
 		c.prefetchedUnused--
 		c.perNode[buf.prefetchedBy]--
 		c.stats.PrefetchesConsumed++
+		if c.obs != nil {
+			c.obs.Add(obs.CtrCachePrefetchesConsumed, 1)
+		}
 		c.dropFromOrder(buf)
 		// A prefetch slot opened up; prefetchers poll rather than block,
 		// but a demand fetch may be waiting for a frame.
@@ -386,9 +414,15 @@ func (c *Cache) Pin(node int, buf *Buffer) (ready bool) {
 	}
 	if buf.state == Ready {
 		c.stats.ReadyHits++
+		if c.obs != nil {
+			c.obs.Add(obs.CtrCacheReadyHits, 1)
+		}
 		return true
 	}
 	c.stats.UnreadyHits++
+	if c.obs != nil {
+		c.obs.Add(obs.CtrCacheUnreadyHits, 1)
+	}
 	return false
 }
 
@@ -406,6 +440,9 @@ func (c *Cache) AllocateDemand(node, block int) *Buffer {
 		return nil
 	}
 	c.stats.Misses++
+	if c.obs != nil {
+		c.obs.Add(obs.CtrCacheMisses, 1)
+	}
 	buf.block = block
 	buf.state = Fetching
 	buf.pins = 1
@@ -512,6 +549,9 @@ func (c *Cache) AllocatePrefetch(node, block int) (*Buffer, PrefetchFail) {
 	c.perNode[node]++
 	c.pfOrder = append(c.pfOrder, buf)
 	c.stats.PrefetchesIssued++
+	if c.obs != nil {
+		c.obs.Add(obs.CtrCachePrefetchesIssued, 1)
+	}
 	return buf, PrefetchOK
 }
 
@@ -566,6 +606,9 @@ func (c *Cache) markReady(buf *Buffer) {
 	if buf.state != Fetching {
 		panic(fmt.Sprintf("cache: markReady on %v buffer", buf.state))
 	}
+	if c.obs != nil {
+		c.fillSpan(buf, buf.block, false)
+	}
 	buf.state = Ready
 	buf.fetchSrc = nil
 	// A ready, unpinned, non-prefetched buffer would be reusable, but
@@ -584,6 +627,10 @@ func (c *Cache) failFetch(buf *Buffer, err error) {
 		panic(fmt.Sprintf("cache: failFetch on %v buffer", buf.state))
 	}
 	c.stats.FailedFills++
+	if c.obs != nil {
+		c.obs.Add(obs.CtrCacheFailedFills, 1)
+		c.fillSpan(buf, buf.block, true)
+	}
 	delete(c.byBlock, buf.block)
 	buf.block = -1
 	buf.fetchSrc = nil

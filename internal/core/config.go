@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/interleave"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/predict"
 	"repro/internal/sim"
@@ -103,6 +104,11 @@ type Config struct {
 	// Trace, if non-nil, receives an event for every file system action.
 	// It is excluded from JSON encodings of the Config.
 	Trace func(Event) `json:"-"`
+
+	// Obs, if non-nil, receives typed spans and counters from every
+	// subsystem of the run (see internal/obs). Excluded from JSON
+	// encodings; nil costs one branch per emission site.
+	Obs obs.Sink `json:"-"`
 }
 
 // DefaultConfig returns the paper's base parameters (§IV-D) for the
@@ -256,6 +262,10 @@ const (
 	EvReadDone
 	EvSyncArrive
 	EvSyncRelease
+	// EvReadRetry records a demand read backing off after a failed fill
+	// (fault injection). Its Outcome and Attempt fields carry what
+	// failed and which retry this is.
+	EvReadRetry
 )
 
 // String names the event kind.
@@ -279,8 +289,49 @@ func (k EventKind) String() string {
 		return "sync-arrive"
 	case EvSyncRelease:
 		return "sync-release"
+	case EvReadRetry:
+		return "read-retry"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// FaultOutcome classifies how a traced operation failed, mirroring the
+// disk layer's typed errors. Zero (OutcomeNone) means no fault and is
+// omitted from serialized traces, keeping fault-free trace files in
+// the original five-field format.
+type FaultOutcome int
+
+// Fault outcomes.
+const (
+	OutcomeNone FaultOutcome = iota
+	OutcomeTransient
+	OutcomeTimeout
+	OutcomeDead
+)
+
+// String names the outcome.
+func (o FaultOutcome) String() string {
+	switch o {
+	case OutcomeNone:
+		return "none"
+	case OutcomeTransient:
+		return "transient"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeDead:
+		return "dead"
+	}
+	return fmt.Sprintf("FaultOutcome(%d)", int(o))
+}
+
+// ParseFaultOutcome converts an outcome name back to its FaultOutcome.
+func ParseFaultOutcome(s string) (FaultOutcome, error) {
+	for o := OutcomeNone; o <= OutcomeDead; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown fault outcome %q", s)
 }
 
 // Event is one trace record: the exact access pattern the paper records
@@ -291,4 +342,10 @@ type Event struct {
 	Kind  EventKind
 	Block int // -1 when not applicable
 	Index int // reference-string index, -1 when not applicable
+
+	// Outcome and Attempt carry fault detail on EvReadRetry events
+	// (and are zero otherwise): what failed, and the 1-based retry
+	// count this backoff precedes.
+	Outcome FaultOutcome
+	Attempt int
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/interleave"
 	"repro/internal/memory"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/predict"
 	"repro/internal/prefetch"
@@ -39,6 +40,13 @@ type Engine struct {
 	inj      *fault.Injector
 	retry    fault.RetryPolicy
 	retryRNG []*rng.Source
+
+	// Observability sink (nil unless cfg.Obs is set), plus the block
+	// and issued flag of each node's prefetch action in flight, kept
+	// for the action span.
+	obs          obs.Sink
+	actionBlock  []int
+	actionIssued []bool
 
 	// Per-node idle-time prefetch schedulers (nil when not prefetching)
 	// and the start time of each node's action in flight.
@@ -128,6 +136,18 @@ func New(cfg Config) (*Engine, error) {
 	for node := 0; node < cfg.Procs; node++ {
 		e.res.PerProc[node].Node = node
 	}
+	if cfg.Obs != nil {
+		e.obs = cfg.Obs
+		k.SetObserver(cfg.Obs)
+		e.disks.SetObserver(cfg.Obs)
+		e.bcache.SetObserver(cfg.Obs)
+		if e.bar != nil {
+			e.bar.SetObserver(cfg.Obs)
+		}
+		if e.inj != nil {
+			e.inj.SetObserver(cfg.Obs)
+		}
+	}
 	return e, nil
 }
 
@@ -138,6 +158,8 @@ func (e *Engine) Run() *Result {
 	if prefetching {
 		e.scheds = make([]*prefetch.Scheduler, e.cfg.Procs)
 		e.actionStart = make([]sim.Time, e.cfg.Procs)
+		e.actionBlock = make([]int, e.cfg.Procs)
+		e.actionIssued = make([]bool, e.cfg.Procs)
 	}
 	for node := 0; node < e.cfg.Procs; node++ {
 		node := node
@@ -148,6 +170,9 @@ func (e *Engine) Run() *Result {
 			e.scheds[node] = prefetch.NewScheduler(e.k, p,
 				func(deadline sim.Time) (sim.Duration, bool) { return e.beginAction(node, deadline) },
 				func() { e.finishAction(node) })
+			if e.obs != nil {
+				e.scheds[node].SetObserver(e.obs)
+			}
 		}
 	}
 	e.k.Run()
@@ -218,7 +243,14 @@ func (e *Engine) procBody(p *sim.Proc, node int) {
 			e.gens.Raise()
 		}
 		if d := e.cfg.ComputeMean; d > 0 {
+			cstart := p.Now()
 			p.Advance(sim.Millis(computeRNG.Exp(d.Millis())))
+			if e.obs != nil {
+				e.obs.Span(obs.Span{
+					Track: obs.ProcTrack(node), Kind: obs.SpanCompute,
+					Start: int64(cstart), End: int64(p.Now()), Block: -1,
+				})
+			}
 		}
 		switch {
 		case e.cfg.Sync == barrier.EveryNPerProc && myReads%e.cfg.SyncEveryPerProc == 0:
@@ -295,17 +327,17 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 	for {
 		if buf = e.bcache.Lookup(block); buf != nil {
 			ready := e.bcache.Pin(node, buf)
-			e.fsWork(p, e.cfg.Memory.Hit)
+			e.fsWork(p, node, e.cfg.Memory.Hit)
 			if buf.Home() != node {
 				// NUMA: the buffer lives on the fetching node's memory.
-				e.fsWork(p, e.cfg.Memory.RemoteBuffer)
+				e.fsWork(p, node, e.cfg.Memory.RemoteBuffer)
 			}
 			if ready {
 				e.trace(Event{T: p.Now(), Node: node, Kind: EvReadyHit, Block: block, Index: idx})
 				e.res.HitWaitAll.Add(0)
 			} else {
 				e.trace(Event{T: p.Now(), Node: node, Kind: EvUnreadyHit, Block: block, Index: idx})
-				wait := e.waitEvent(p, node, buf.IODone, buf.FetchDone(), IdleRemoteIO)
+				wait := e.waitEvent(p, node, block, buf.IODone, buf.FetchDone(), IdleRemoteIO)
 				e.res.HitWaitAll.Add(wait.Millis())
 				e.res.HitWaitUnready.Add(wait.Millis())
 				if buf.FillErr() != nil {
@@ -319,20 +351,27 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 		// Miss: pay the demand-fetch setup cost, then claim a frame and
 		// start the transfer. The block may appear while the setup cost
 		// elapses (another process fetched it) — then it is a hit.
-		e.fsWork(p, e.cfg.Memory.Miss)
+		e.fsWork(p, node, e.cfg.Memory.Miss)
 		if e.bcache.Lookup(block) != nil {
 			continue
 		}
 		nbuf := e.bcache.AllocateDemand(node, block)
 		if nbuf == nil {
+			fwStart := p.Now()
 			e.bcache.Freed.Sleep(p)
+			if e.obs != nil {
+				e.obs.Span(obs.Span{
+					Track: obs.ProcTrack(node), Kind: obs.SpanFrameWait,
+					Start: int64(fwStart), End: int64(p.Now()), Block: block,
+				})
+			}
 			continue
 		}
 		dsk, phys := e.place(block)
 		req := e.disks.Submit(dsk, block, phys, false)
 		e.bcache.BeginFetchFrom(nbuf, &req.Complete, req.EstDone, req)
 		e.trace(Event{T: p.Now(), Node: node, Kind: EvDemandFetch, Block: block, Index: idx})
-		e.waitEvent(p, node, nbuf.IODone, req.EstDone, IdleOwnIO)
+		e.waitEvent(p, node, block, nbuf.IODone, req.EstDone, IdleOwnIO)
 		if nbuf.FillErr() != nil {
 			e.failedRead(p, node, nbuf, block, &attempts)
 			continue
@@ -346,6 +385,12 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 	e.res.ReadTimeHist.Add(rt.Millis())
 	e.res.PerProc[node].ReadTime.Add(rt.Millis())
 	e.trace(Event{T: p.Now(), Node: node, Kind: EvReadDone, Block: block, Index: idx})
+	if e.obs != nil {
+		e.obs.Span(obs.Span{
+			Track: obs.ProcTrack(node), Kind: obs.SpanRead,
+			Start: int64(start), End: int64(p.Now()), Block: block,
+		})
+	}
 }
 
 // syncArrive takes the process through one barrier generation,
@@ -355,7 +400,7 @@ func (e *Engine) syncArrive(p *sim.Proc, node int) {
 	e.trace(Event{T: arrival, Node: node, Kind: EvSyncArrive, Block: -1, Index: -1})
 	ev, last := e.bar.Arrive()
 	if !last {
-		e.waitEvent(p, node, ev, sim.MaxTime, IdleSync)
+		e.waitEvent(p, node, -1, ev, sim.MaxTime, IdleSync)
 	}
 	wait := ev.FiredAt().Sub(arrival)
 	e.res.SyncTime.Add(wait.Millis())
@@ -376,26 +421,47 @@ func (e *Engine) syncArrive(p *sim.Proc, node int) {
 // The prefetch actions themselves run as the node's Scheduler chain in
 // kernel context (see prefetch.Scheduler); the process parks once for
 // the whole wait rather than once per action.
-func (e *Engine) waitEvent(p *sim.Proc, node int, ev *sim.Event, deadline sim.Time, kind IdleKind) sim.Duration {
+//
+// The wait's span runs from the call to the actual resume — so a
+// prefetch action that overruns the event stays nested inside it — and
+// carries the logical wait in Arg. block is the awaited block, or -1
+// for sync waits.
+func (e *Engine) waitEvent(p *sim.Proc, node, block int, ev *sim.Event, deadline sim.Time, kind IdleKind) sim.Duration {
 	start := p.Now()
 	if ev.Fired() {
 		return 0
 	}
+	var logical sim.Duration
 	if e.scheds == nil {
 		ev.Wait(p)
-		logical := p.Now().Sub(start)
-		e.res.IdleTime[kind].Add(logical.Millis())
-		return logical
-	}
-	ranAction := e.scheds[node].Wait(ev, deadline)
-	logical := ev.FiredAt().Sub(start)
-	e.res.IdleTime[kind].Add(logical.Millis())
-	if ranAction {
-		over := p.Now().Sub(ev.FiredAt())
-		if over < 0 {
-			over = 0
+		logical = p.Now().Sub(start)
+	} else {
+		ranAction := e.scheds[node].Wait(ev, deadline)
+		logical = ev.FiredAt().Sub(start)
+		if ranAction {
+			over := p.Now().Sub(ev.FiredAt())
+			if over < 0 {
+				over = 0
+			}
+			e.res.Overrun.Add(over.Millis())
 		}
-		e.res.Overrun.Add(over.Millis())
+	}
+	e.res.IdleTime[kind].Add(logical.Millis())
+	if e.obs != nil {
+		var sk obs.SpanKind
+		switch kind {
+		case IdleSync:
+			sk = obs.SpanSyncWait
+		case IdleOwnIO:
+			sk = obs.SpanDemandWait
+		default:
+			sk = obs.SpanHitWait
+		}
+		e.obs.Span(obs.Span{
+			Track: obs.ProcTrack(node), Kind: sk,
+			Start: int64(start), End: int64(p.Now()),
+			Block: block, Arg: int64(logical),
+		})
 	}
 	return logical
 }
@@ -437,6 +503,10 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 	}
 	e.actionStart[node] = now
 	e.res.PerProc[node].PrefetchAttempts++
+	if e.obs != nil {
+		e.obs.Add(obs.CtrPrefetchActions, 1)
+		e.actionBlock[node] = block
+	}
 	buf, res := e.bcache.AllocatePrefetch(node, block)
 	var cost memory.Cost
 	if res == cache.PrefetchOK {
@@ -452,6 +522,9 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 		e.trace(Event{T: now, Node: node, Kind: EvPrefetchFail, Block: block, Index: idx})
 		cost = e.cfg.Memory.PrefetchFail
 	}
+	if e.obs != nil {
+		e.actionIssued[node] = res == cache.PrefetchOK
+	}
 	others := e.track.Enter()
 	d := cost.At(others)
 	if d < sim.Microsecond {
@@ -466,6 +539,17 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 func (e *Engine) finishAction(node int) {
 	e.track.Exit()
 	e.res.PrefetchActionTime.Add(e.k.Now().Sub(e.actionStart[node]).Millis())
+	if e.obs != nil {
+		var arg int64
+		if e.actionIssued[node] {
+			arg = 1
+		}
+		e.obs.Span(obs.Span{
+			Track: obs.ProcTrack(node), Kind: obs.SpanPrefetchAction,
+			Start: int64(e.actionStart[node]), End: int64(e.k.Now()),
+			Block: e.actionBlock[node], Arg: arg,
+		})
+	}
 }
 
 // fsWork charges the processor for one file system operation under the
@@ -476,14 +560,22 @@ func (e *Engine) finishAction(node int) {
 // under a zero-cost model, which guarantees the idle-time prefetch loop
 // always advances virtual time (a failed attempt retried at zero cost
 // would otherwise spin forever).
-func (e *Engine) fsWork(p *sim.Proc, c memory.Cost) {
+func (e *Engine) fsWork(p *sim.Proc, node int, c memory.Cost) {
 	others := e.track.Enter()
 	d := c.At(others)
 	if d < sim.Microsecond {
 		d = sim.Microsecond
 	}
+	start := p.Now()
 	p.Advance(d)
 	e.track.Exit()
+	if e.obs != nil {
+		e.obs.Span(obs.Span{
+			Track: obs.ProcTrack(node), Kind: obs.SpanFSWork,
+			Start: int64(start), End: int64(p.Now()),
+			Block: -1, Arg: int64(others),
+		})
+	}
 }
 
 func (e *Engine) trace(ev Event) {

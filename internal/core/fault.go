@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -48,5 +51,32 @@ func (e *Engine) failedRead(p *sim.Proc, node int, buf *cache.Buffer, block int,
 			node, block, *attempts, err))
 	}
 	e.res.Faults.ReadRetries++
+	e.trace(Event{T: p.Now(), Node: node, Kind: EvReadRetry, Block: block, Index: -1,
+		Outcome: classifyFault(err), Attempt: *attempts})
+	start := p.Now()
 	p.Advance(e.retry.Backoff(*attempts, e.retryRNG[node]))
+	if e.obs != nil {
+		e.obs.Add(obs.CtrReadRetries, 1)
+		e.obs.Span(obs.Span{
+			Track: obs.ProcTrack(node), Kind: obs.SpanBackoff,
+			Start: int64(start), End: int64(p.Now()),
+			Block: block, Arg: int64(*attempts),
+		})
+	}
+}
+
+// classifyFault maps a fill error onto the trace's fault outcomes via
+// the disk layer's typed errors.
+func classifyFault(err error) FaultOutcome {
+	switch {
+	case err == nil:
+		return OutcomeNone
+	case errors.Is(err, disk.ErrTransient):
+		return OutcomeTransient
+	case errors.Is(err, disk.ErrTimeout):
+		return OutcomeTimeout
+	case errors.Is(err, disk.ErrDead):
+		return OutcomeDead
+	}
+	return OutcomeNone
 }

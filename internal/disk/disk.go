@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -157,7 +158,15 @@ type Disk struct {
 	inj    *fault.Injector // nil = no fault injection (the common case)
 	dead   bool            // permanently offline (fault.Config.KillAt)
 	fstats FaultStats
+
+	obs obs.Sink // nil = no observability (the common case)
 }
+
+// SetObserver installs an observability sink: request counters at
+// submission, queueing and transfer spans at completion. Requests a
+// dead disk refuses (or flushes at its kill) complete outside the
+// normal service path and emit no spans.
+func (d *Disk) SetObserver(s obs.Sink) { d.obs = s }
 
 // New returns a disk with the given id and fixed physical access time.
 func New(k *sim.Kernel, id int, access sim.Duration) *Disk {
@@ -242,6 +251,12 @@ func (d *Disk) Submit(block, phys int, prefetch bool) *Request {
 	if prefetch {
 		d.pfCount++
 	}
+	if d.obs != nil {
+		d.obs.Add(obs.CtrDiskRequests, 1)
+		if prefetch {
+			d.obs.Add(obs.CtrDiskPrefetchRequests, 1)
+		}
+	}
 	d.pending = append(d.pending, req)
 	if d.current == nil {
 		d.dispatch()
@@ -278,6 +293,28 @@ func (d *Disk) dispatch() {
 func (d *Disk) complete(req *Request) {
 	d.resp.Add(req.ResponseTime().Millis())
 	d.qdelay.Add(req.QueueDelay().Millis())
+	if d.obs != nil {
+		arg := int64(0)
+		if req.Prefetch {
+			arg = 1
+		}
+		if req.Started > req.Enqueued {
+			d.obs.Span(obs.Span{
+				Track: obs.DiskTrack(d.id), Kind: obs.SpanDiskQueue,
+				Start: int64(req.Enqueued), End: int64(req.Started),
+				Block: req.Block, Arg: arg,
+			})
+		}
+		if req.Err != nil {
+			arg |= 2
+			d.obs.Add(obs.CtrDiskFaultedRequests, 1)
+		}
+		d.obs.Span(obs.Span{
+			Track: obs.DiskTrack(d.id), Kind: obs.SpanDiskTransfer,
+			Start: int64(req.Started), End: int64(req.Done),
+			Block: req.Block, Arg: arg,
+		})
+	}
 	req.Complete.Fire()
 	d.dispatch()
 }
@@ -400,6 +437,13 @@ func NewScheduledArray(k *sim.Kernel, n int, profile Profile, policy SchedPolicy
 
 // Len returns the number of disks.
 func (a *Array) Len() int { return len(a.disks) }
+
+// SetObserver installs an observability sink on every disk.
+func (a *Array) SetObserver(s obs.Sink) {
+	for _, d := range a.disks {
+		d.SetObserver(s)
+	}
+}
 
 // Disk returns disk i.
 func (a *Array) Disk(i int) *Disk { return a.disks[i] }

@@ -3,8 +3,10 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 )
 
@@ -15,6 +17,12 @@ type Claim struct {
 	Paper    string // the paper's statement
 	Measured string // what this reproduction measured
 	Pass     bool
+	// Stats is a one-line summary of the simulation work behind the
+	// claim's study (kernel events, disk requests, hit ratio, wall
+	// clock), filled only when verification ran with a counter sink
+	// (cmd/report -v). It never appears in the default Report, which
+	// stays golden-pinned.
+	Stats string
 }
 
 // Verification is the result of checking every claim.
@@ -60,6 +68,57 @@ func (v *Verification) Report() string {
 	return b.String()
 }
 
+// ReportVerbose renders the table with each claim's run statistics in
+// an extra column. Claims verified without a counter sink show "-".
+func (v *Verification) ReportVerbose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reproduction check: %d of %d claims hold\n\n", v.Passed(), len(v.Claims))
+	tb := &metrics.Table{Header: []string{"", "claim", "paper", "measured", "run stats"}}
+	for _, c := range v.Claims {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		stats := c.Stats
+		if stats == "" {
+			stats = "-"
+		}
+		tb.AddRow(mark, c.ID, c.Paper, c.Measured, stats)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// statFn builds a closure that summarizes the counter deltas (and wall
+// clock) since its previous call in one line — the per-study statistics
+// attached to claims under cmd/report -v. Without a CounterSink in the
+// options it returns empty lines and the claims stay stats-free.
+func statFn(sink obs.Sink) func() string {
+	cs, ok := sink.(*obs.CounterSink)
+	if !ok || cs == nil {
+		return func() string { return "" }
+	}
+	var prev obs.Counters
+	last := time.Now()
+	return func() string {
+		cur := cs.Snapshot()
+		d := obs.Sub(cur, prev)
+		prev = cur
+		now := time.Now()
+		wall := now.Sub(last)
+		last = now
+		hits := d.Get(obs.CtrCacheReadyHits) + d.Get(obs.CtrCacheUnreadyHits)
+		refs := hits + d.Get(obs.CtrCacheMisses)
+		hit := 0.0
+		if refs > 0 {
+			hit = float64(hits) / float64(refs)
+		}
+		return fmt.Sprintf("events=%d disk=%d (pf=%d) hit=%.3f wall=%.1fs",
+			d.Get(obs.CtrKernelEvents), d.Get(obs.CtrDiskRequests),
+			d.Get(obs.CtrDiskPrefetchRequests), hit, wall.Seconds())
+	}
+}
+
 // Verify runs the paper's experiments at the given scale and checks
 // every §V claim. Each sub-study (the factorial suite and the four
 // sweeps) submits its runs to the shared worker pool, so verification
@@ -70,11 +129,14 @@ func (v *Verification) Report() string {
 // the simulated substrate; they are intended for PaperScale.
 func Verify(opts Options) *Verification {
 	v := &Verification{}
+	stat := statFn(opts.Obs)
+	curStats := ""
 	add := func(id, paper, measured string, pass bool) {
-		v.Claims = append(v.Claims, Claim{ID: id, Paper: paper, Measured: measured, Pass: pass})
+		v.Claims = append(v.Claims, Claim{ID: id, Paper: paper, Measured: measured, Pass: pass, Stats: curStats})
 	}
 
 	suite := RunSuite(opts)
+	curStats = stat()
 	sum := suite.Summarize()
 
 	// Fig. 3 and §V-A.
@@ -162,6 +224,7 @@ func Verify(opts Options) *Verification {
 
 	// Fig. 12 (§V-C).
 	sweep := ComputeSweep(opts, []int{0, 10, 20, 30, 40, 50, 60})
+	curStats = stat()
 	pf := sweep.TotalTime.FindSeries("prefetch").Points
 	np := sweep.TotalTime.FindSeries("no prefetch").Points
 	imp := func(i int) float64 { return metrics.PercentReduction(np[i].Y, pf[i].Y) }
@@ -184,6 +247,7 @@ func Verify(opts Options) *Verification {
 
 	// Figs. 13-16 (§V-E).
 	leads := LeadSweep(opts, []int{0, 30, 60, 90})
+	curStats = stat()
 	gwMiss := leads.MissRatio.FindSeries("gw").Points
 	add("lead-miss-climbs",
 		"the miss ratio climbs drastically with the minimum prefetch lead (global patterns)",
@@ -202,6 +266,7 @@ func Verify(opts Options) *Verification {
 
 	// §V-D minimum prefetch time.
 	mpt := MinPrefetchTimeSweep(opts, []int{0, 25})
+	curStats = stat()
 	ov := mpt.Overrun.Series[0].Points
 	tt := mpt.TotalTime.Series[0].Points
 	rel := (tt[1].Y - tt[0].Y) / tt[0].Y
@@ -215,6 +280,7 @@ func Verify(opts Options) *Verification {
 
 	// §V-F buffer count.
 	buf := BufferCountSweep(opts, []int{1, 3, 5})
+	curStats = stat()
 	gwBuf := buf.FindSeries("gw").Points
 	add("one-buffer-worse",
 		"one prefetch buffer per process gives smaller improvements",

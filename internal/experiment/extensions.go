@@ -383,18 +383,22 @@ func DefaultFaultRates() []float64 { return []float64{0, 0.02, 0.05, 0.1} }
 // disks could not exhibit.
 func VerifyFaultClaims(opts Options) *Verification {
 	v := &Verification{}
+	stat := statFn(opts.Obs)
+	curStats := ""
 	add := func(id, paper, measured string, pass bool) {
-		v.Claims = append(v.Claims, Claim{ID: id, Paper: paper, Measured: measured, Pass: pass})
+		v.Claims = append(v.Claims, Claim{ID: id, Paper: paper, Measured: measured, Pass: pass, Stats: curStats})
 	}
 
 	rates := DefaultFaultRates()
 	sweep := RunFaultSweep(opts, rates)
+	curStats = stat()
 	last := len(rates) - 1
 
 	// F1 — reproducibility: a faulted run is a pure function of its
 	// configuration; rerunning the sweep's hardest prefetch cell
 	// serially must reproduce the pooled run exactly.
 	rerun := core.MustRun(faultCell(opts, rates[last], true))
+	curStats = stat()
 	pooled := sweep.Pref[last]
 	pass := rerun.TotalTime == pooled.TotalTime && rerun.Faults == pooled.Faults
 	add("F1", "fault injection is deterministic in virtual time",
@@ -404,6 +408,7 @@ func VerifyFaultClaims(opts Options) *Verification {
 	// F2 — zero-config identity: a zero-value fault config is inert,
 	// so the sweep's origin equals the plain pre-fault run.
 	clean := core.MustRun(opts.Config(pattern.GW, barrier.EveryNPerProc, false, false))
+	curStats = stat()
 	add("F2", "a zero-value fault config leaves the run byte-identical",
 		fmt.Sprintf("total %v with zero fault config vs %v without", sweep.Base[0].TotalTime, clean.TotalTime),
 		sweep.Base[0].TotalTime == clean.TotalTime && sweep.Base[0].Faults.Disk.Total() == 0)
@@ -440,6 +445,7 @@ func VerifyFaultClaims(opts Options) *Verification {
 	kill := faultCell(opts, 0, true)
 	kill.Fault = fault.Config{Seed: opts.Seed, KillAt: clean.TotalTime / 3, KillDisk: 1}
 	kres := core.MustRun(kill)
+	curStats = stat()
 	reads := 0
 	for _, ps := range kres.PerProc {
 		reads += ps.Reads

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// renderClaims produces the audit output pinned by claims_golden.txt:
+// the 23-claim paper audit followed by the 5-claim fault audit, serial.
+func renderClaims(o Options) string {
+	o.Workers = 1
+	return Verify(o).Report() + "\n" + VerifyFaultClaims(o).Report()
+}
+
+// TestClaimsGoldenNilSink pins the full claim audit against the golden
+// generated before the observability layer existed: with no sink
+// installed, every hook must be inert and the 23+5 claim reports
+// byte-identical to the pre-observability output.
+func TestClaimsGoldenNilSink(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("claim audit skipped in -short mode")
+	}
+	got := renderClaims(TestScale())
+	path := filepath.Join("testdata", "claims_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("claim audit diverged from the pre-observability golden (%d vs %d bytes);\n"+
+			"the observability hooks must be byte-inert when no sink is installed", len(got), len(want))
+	}
+}
+
+// TestClaimsGoldenCounterSink repeats the audit with a counter sink
+// installed in every run: observation may count, but the default report
+// must still match the golden byte for byte — proof that the hooks
+// never perturb virtual time.
+func TestClaimsGoldenCounterSink(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("claim audit skipped in -short mode")
+	}
+	opts := TestScale()
+	cs := &obs.CounterSink{}
+	opts.Obs = cs
+	got := renderClaims(opts)
+	want, err := os.ReadFile(filepath.Join("testdata", "claims_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatal("a counter sink perturbed the claim audit output")
+	}
+	snap := cs.Snapshot()
+	if snap.Get(obs.CtrKernelEvents) == 0 || snap.Get(obs.CtrDiskRequests) == 0 {
+		t.Fatalf("counter sink saw no activity: %+v", snap)
+	}
+	// Under -v these counters become the per-claim stats lines.
+	verbose := Verify(opts)
+	for _, c := range verbose.Claims {
+		if c.Stats == "" {
+			t.Fatalf("claim %s missing stats under a counter sink", c.ID)
+		}
+	}
+	if rep := verbose.ReportVerbose(); len(rep) == 0 {
+		t.Fatal("empty verbose report")
+	}
+}

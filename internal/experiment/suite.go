@@ -12,6 +12,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -44,6 +45,11 @@ type Options struct {
 	// Progress, if non-nil, observes run completions across each batch
 	// (see runner.Options.Progress).
 	Progress func(done, total int)
+	// Obs, if non-nil, is installed into every run's configuration (see
+	// core.Config.Obs). With Workers != 1 the runs execute concurrently,
+	// so the sink must be shareable — use obs.CounterSink, not a span
+	// recorder.
+	Obs obs.Sink
 }
 
 // runnerOpts maps the experiment options onto the execution engine.
@@ -102,6 +108,7 @@ func (o Options) Config(kind pattern.Kind, sync barrier.Style, ioBound, prefetch
 		cfg.ComputeMean = 0
 	}
 	cfg.Prefetch = prefetch
+	cfg.Obs = o.Obs
 	return cfg
 }
 

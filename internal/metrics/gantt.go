@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders horizontal-bar timelines as ASCII art: one row per
+// labelled track, time flowing left to right, each interval painted
+// with a single glyph. Like Figure, it is deliberately plain — the
+// point is to see the shape of a run (where processors compute, wait,
+// and prefetch) in a terminal and in EXPERIMENTS.md. The package knows
+// nothing about what the intervals mean; callers map their domain onto
+// glyphs and a legend.
+type Gantt struct {
+	Title string
+	// Start and End bound the rendered window; intervals are clipped
+	// to it. Units are opaque (the simulator passes virtual µs).
+	Start, End int64
+	Unit       string // axis label suffix, e.g. "us"
+	Rows       []GanttRow
+	Legend     []string // e.g. "C=compute"
+}
+
+// GanttRow is one track of the timeline.
+type GanttRow struct {
+	Label string
+	Bars  []GanttBar
+}
+
+// GanttBar is one painted interval. Bars are painted in slice order,
+// later bars overwriting earlier ones where they overlap — callers
+// order parents before children so nested detail wins.
+type GanttBar struct {
+	Start, End int64
+	Glyph      byte
+}
+
+// Render draws the timeline. Width is the number of time columns
+// (default 96); Height is ignored.
+func (g *Gantt) Render(opts RenderOptions) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 96
+	}
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s\n", g.Title)
+	}
+	span := g.End - g.Start
+	if span <= 0 || len(g.Rows) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	labelW := 0
+	for _, r := range g.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	// A bar [s,e) paints columns [col(s), col(e)); sub-column bars
+	// still paint the one column they start in so short events stay
+	// visible.
+	toCol := func(t int64) int {
+		c := int((t - g.Start) * int64(width) / span)
+		return clamp(c, 0, width)
+	}
+	for _, r := range g.Rows {
+		line := []byte(strings.Repeat(" ", width))
+		for _, bar := range r.Bars {
+			s, e := bar.Start, bar.End
+			if e <= g.Start || s >= g.End {
+				continue
+			}
+			c0, c1 := toCol(s), toCol(e)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			for c := c0; c < c1 && c < width; c++ {
+				line[c] = bar.Glyph
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, line)
+	}
+	fmt.Fprintf(&b, "%-*s +%s+\n", labelW, "", strings.Repeat("-", width))
+	left := fmt.Sprintf("%d", g.Start)
+	right := fmt.Sprintf("%d%s", g.End, g.Unit)
+	gap := width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%-*s %s%s%s\n", labelW, "", left, strings.Repeat(" ", gap), right)
+	if len(g.Legend) > 0 {
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(g.Legend, "  "))
+	}
+	return b.String()
+}

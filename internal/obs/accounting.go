@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Idle-time accounting: decompose each processor's virtual time into
+// exclusive (self-time) buckets, the decomposition the paper uses to
+// argue where prefetching wins (§IV-C). Because proc-track sync spans
+// nest, the self-time of each span — its duration minus the time
+// covered by its children — partitions the processor's busy time
+// exactly; whatever no span covers is Other (top-level scheduling
+// gaps, which are ~0 in practice).
+
+// Bucket is one category of the per-processor time decomposition.
+type Bucket uint8
+
+// The accounting buckets, in report column order.
+const (
+	BucketCompute Bucket = iota
+	BucketFSWork
+	BucketDemandWait
+	BucketHitWait
+	BucketSyncWait
+	BucketFrameWait
+	BucketBackoff
+	BucketPrefetch
+	BucketOther
+
+	numBuckets
+)
+
+var bucketNames = [numBuckets]string{
+	"compute", "fs-work", "demand-wait", "hit-wait", "sync-wait",
+	"frame-wait", "backoff", "prefetch", "other",
+}
+
+// String names the bucket.
+func (b Bucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return fmt.Sprintf("Bucket(%d)", int(b))
+}
+
+// bucketOf maps proc-track span kinds to their bucket. SpanRead's
+// exclusive time (list walking between its priced children) lands in
+// Other.
+func bucketOf(k SpanKind) (Bucket, bool) {
+	switch k {
+	case SpanCompute:
+		return BucketCompute, true
+	case SpanFSWork:
+		return BucketFSWork, true
+	case SpanDemandWait:
+		return BucketDemandWait, true
+	case SpanHitWait:
+		return BucketHitWait, true
+	case SpanSyncWait:
+		return BucketSyncWait, true
+	case SpanFrameWait:
+		return BucketFrameWait, true
+	case SpanBackoff:
+		return BucketBackoff, true
+	case SpanPrefetchAction:
+		return BucketPrefetch, true
+	case SpanRead:
+		return BucketOther, true
+	default:
+		return 0, false
+	}
+}
+
+// ProcAccount is one processor's time decomposition in µs.
+type ProcAccount struct {
+	Proc    int
+	Buckets [numBuckets]int64
+}
+
+// Total returns the µs accounted across all buckets.
+func (p ProcAccount) Total() int64 {
+	var t int64
+	for _, v := range p.Buckets {
+		t += v
+	}
+	return t
+}
+
+// Accounting is a whole run's idle-time decomposition.
+type Accounting struct {
+	// Horizon is the virtual end of the trace; each processor's
+	// buckets plus its top-level gap sum to it.
+	Horizon int64
+	Procs   []ProcAccount
+}
+
+// Totals sums the per-processor buckets.
+func (a Accounting) Totals() [numBuckets]int64 {
+	var t [numBuckets]int64
+	for _, p := range a.Procs {
+		for b, v := range p.Buckets {
+			t[b] += v
+		}
+	}
+	return t
+}
+
+// Account computes the idle-time decomposition of the trace. Only
+// processor-track sync spans participate; disk, barrier, and async
+// spans describe shared resources and are reported elsewhere.
+func (r *Recorder) Account() Accounting {
+	horizon := r.End()
+	byProc := make(map[int][]Span)
+	for _, s := range r.Spans {
+		if s.Track.Kind != TrackProc || s.Kind.Async() {
+			continue
+		}
+		byProc[s.Track.ID] = append(byProc[s.Track.ID], s)
+	}
+	acc := Accounting{Horizon: horizon}
+	procs := make([]int, 0, len(byProc))
+	for p := range byProc {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, proc := range procs {
+		spans := byProc[proc]
+		// Start ascending, longer-first on ties: parents precede
+		// children in the sweep.
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].End > spans[j].End
+		})
+		pa := ProcAccount{Proc: proc}
+		// Stack sweep subtracting each span's duration from its
+		// parent's bucket: after the sweep every bucket holds pure
+		// self-time, and the sum of top-level spans' durations is the
+		// covered time.
+		type frame struct {
+			bucket Bucket
+			end    int64
+		}
+		var stack []frame
+		var covered int64
+		for _, s := range spans {
+			for len(stack) > 0 && s.Start >= stack[len(stack)-1].end {
+				stack = stack[:len(stack)-1]
+			}
+			b, ok := bucketOf(s.Kind)
+			if !ok {
+				continue
+			}
+			pa.Buckets[b] += s.Dur()
+			if len(stack) > 0 {
+				pa.Buckets[stack[len(stack)-1].bucket] -= s.Dur()
+			} else {
+				covered += s.Dur()
+			}
+			stack = append(stack, frame{b, s.End})
+		}
+		if gap := horizon - covered; gap > 0 {
+			pa.Buckets[BucketOther] += gap
+		}
+		acc.Procs = append(acc.Procs, pa)
+	}
+	return acc
+}
+
+// Report renders the decomposition as a fixed-width table: one row per
+// processor, a TOTAL row, and a percent-of-total row — the paper-style
+// breakdown for one figure point.
+func (a Accounting) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", "proc")
+	for b := Bucket(0); b < numBuckets; b++ {
+		fmt.Fprintf(&sb, " %12s", b)
+	}
+	fmt.Fprintf(&sb, " %12s\n", "total")
+	for _, p := range a.Procs {
+		fmt.Fprintf(&sb, "%-6d", p.Proc)
+		for _, v := range p.Buckets {
+			fmt.Fprintf(&sb, " %12d", v)
+		}
+		fmt.Fprintf(&sb, " %12d\n", p.Total())
+	}
+	totals := a.Totals()
+	var grand int64
+	for _, v := range totals {
+		grand += v
+	}
+	fmt.Fprintf(&sb, "%-6s", "TOTAL")
+	for _, v := range totals {
+		fmt.Fprintf(&sb, " %12d", v)
+	}
+	fmt.Fprintf(&sb, " %12d\n", grand)
+	fmt.Fprintf(&sb, "%-6s", "%")
+	for _, v := range totals {
+		fmt.Fprintf(&sb, " %12s", pct(v, grand))
+	}
+	fmt.Fprintf(&sb, " %12s\n", pct(grand, grand))
+	fmt.Fprintf(&sb, "horizon %d us x %d procs (all times virtual us)\n",
+		a.Horizon, len(a.Procs))
+	return sb.String()
+}
+
+// Diff renders the change from a to b per bucket: total µs, delta, and
+// delta as a percentage of a's grand total. Positive deltas mean b
+// spends more time in that bucket. This is the "prefetch on vs. off"
+// comparison: the paper's idle-time reduction appears as negative
+// deltas in the wait buckets.
+func Diff(a, b Accounting, aName, bName string) string {
+	ta, tb := a.Totals(), b.Totals()
+	var grandA, grandB int64
+	for i := range ta {
+		grandA += ta[i]
+		grandB += tb[i]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %14s %14s %14s %9s\n",
+		"bucket", aName, bName, "delta", "delta%")
+	for i := Bucket(0); i < numBuckets; i++ {
+		d := tb[i] - ta[i]
+		fmt.Fprintf(&sb, "%-12s %14d %14d %+14d %9s\n",
+			i, ta[i], tb[i], d, pct(d, grandA))
+	}
+	fmt.Fprintf(&sb, "%-12s %14d %14d %+14d %9s\n",
+		"TOTAL", grandA, grandB, grandB-grandA, pct(grandB-grandA, grandA))
+	fmt.Fprintf(&sb, "horizon %14d %14d %+14d\n",
+		a.Horizon, b.Horizon, b.Horizon-a.Horizon)
+	return sb.String()
+}
+
+func pct(v, total int64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanKindRoundTrip(t *testing.T) {
+	for k := SpanKind(0); k < SpanKind(numSpanKinds); k++ {
+		got, err := ParseSpanKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseSpanKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseSpanKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseSpanKind("bogus"); err == nil {
+		t.Fatal("ParseSpanKind accepted a bogus name")
+	}
+}
+
+func TestCounterRoundTrip(t *testing.T) {
+	for c := Counter(0); c < Counter(NumCounters); c++ {
+		got, err := ParseCounter(c.String())
+		if err != nil {
+			t.Fatalf("ParseCounter(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("ParseCounter(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+}
+
+func TestTrackRoundTrip(t *testing.T) {
+	for _, tr := range []Track{ProcTrack(0), ProcTrack(17), DiskTrack(3), BarrierTrack()} {
+		got, err := ParseTrack(tr.String())
+		if err != nil {
+			t.Fatalf("ParseTrack(%q): %v", tr.String(), err)
+		}
+		if got != tr {
+			t.Fatalf("ParseTrack(%q) = %v, want %v", tr.String(), got, tr)
+		}
+	}
+	for _, bad := range []string{"", "proc", "procx", "disk-1x", "widget3"} {
+		if _, err := ParseTrack(bad); err == nil {
+			t.Fatalf("ParseTrack(%q) succeeded", bad)
+		}
+	}
+}
+
+// sample builds a small, well-nested recorder shared by the tests.
+func sample() *Recorder {
+	r := NewRecorder()
+	r.Add(CtrKernelEvents, 42)
+	r.Add(CtrDiskRequests, 3)
+	r.Span(Span{Track: ProcTrack(0), Kind: SpanCompute, Start: 0, End: 100, Block: -1})
+	r.Span(Span{Track: ProcTrack(0), Kind: SpanRead, Start: 100, End: 300, Block: 7})
+	r.Span(Span{Track: ProcTrack(0), Kind: SpanDemandWait, Start: 120, End: 280, Block: 7, Arg: 160})
+	r.Span(Span{Track: ProcTrack(1), Kind: SpanSyncWait, Start: 0, End: 250, Block: -1, Arg: 250})
+	r.Span(Span{Track: DiskTrack(2), Kind: SpanDiskQueue, Start: 110, End: 140, Block: 7})
+	r.Span(Span{Track: DiskTrack(2), Kind: SpanDiskTransfer, Start: 140, End: 260, Block: 7})
+	r.Span(Span{Track: BarrierTrack(), Kind: SpanBarrierGen, Start: 200, End: 250, Block: -1, Arg: 2})
+	return r
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := sample()
+	var a strings.Builder
+	if _, err := r.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(a.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if _, err := back.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("round trip not byte-identical:\n--- first\n%s--- second\n%s", a.String(), b.String())
+	}
+	if back.Counters.Get(CtrKernelEvents) != 42 {
+		t.Fatalf("counter lost in round trip: %d", back.Counters.Get(CtrKernelEvents))
+	}
+	if _, err := Read(strings.NewReader("not a trace\n")); err == nil {
+		t.Fatal("Read accepted input without the header")
+	}
+}
+
+func TestRecorderEndAndTracks(t *testing.T) {
+	r := sample()
+	if got := r.End(); got != 300 {
+		t.Fatalf("End = %d, want 300", got)
+	}
+	tracks := r.Tracks()
+	if len(tracks) != 4 {
+		t.Fatalf("Tracks = %v, want 4 tracks", tracks)
+	}
+	// Sorted: procs, then disks, then barrier.
+	want := []Track{ProcTrack(0), ProcTrack(1), DiskTrack(2), BarrierTrack()}
+	for i, tr := range want {
+		if tracks[i] != tr {
+			t.Fatalf("Tracks[%d] = %v, want %v", i, tracks[i], tr)
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	r := sample()
+	acc := r.Account()
+	if acc.Horizon != 300 {
+		t.Fatalf("Horizon = %d, want 300", acc.Horizon)
+	}
+	if len(acc.Procs) != 2 {
+		t.Fatalf("got %d proc accounts, want 2", len(acc.Procs))
+	}
+	p0 := acc.Procs[0]
+	// proc0: compute 100, read 100..300 with demand-wait 120..280 nested:
+	// demand-wait 160, read self-time 40 -> Other, no gap.
+	if got := p0.Buckets[BucketCompute]; got != 100 {
+		t.Errorf("p0 compute = %d, want 100", got)
+	}
+	if got := p0.Buckets[BucketDemandWait]; got != 160 {
+		t.Errorf("p0 demand-wait = %d, want 160", got)
+	}
+	if got := p0.Buckets[BucketOther]; got != 40 {
+		t.Errorf("p0 other (read self-time) = %d, want 40", got)
+	}
+	if got := p0.Total(); got != acc.Horizon {
+		t.Errorf("p0 total = %d, want horizon %d", got, acc.Horizon)
+	}
+	// proc1: sync-wait 250 plus a 50 gap to the horizon -> Other.
+	p1 := acc.Procs[1]
+	if got := p1.Buckets[BucketSyncWait]; got != 250 {
+		t.Errorf("p1 sync-wait = %d, want 250", got)
+	}
+	if got := p1.Buckets[BucketOther]; got != 50 {
+		t.Errorf("p1 other (gap) = %d, want 50", got)
+	}
+	rep := acc.Report()
+	if !strings.Contains(rep, "TOTAL") || !strings.Contains(rep, "demand-wait") {
+		t.Fatalf("report missing expected rows:\n%s", rep)
+	}
+	d := Diff(acc, acc, "a", "b")
+	if !strings.Contains(d, "+0") {
+		t.Fatalf("self-diff should be all zero deltas:\n%s", d)
+	}
+}
+
+func TestPerfettoValidates(t *testing.T) {
+	r := sample()
+	var sb strings.Builder
+	if err := r.WritePerfetto(&sb); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := ValidatePerfetto(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ValidatePerfetto: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(summary, "ok:") {
+		t.Fatalf("unexpected summary %q", summary)
+	}
+}
+
+func TestPerfettoCatchesBadNesting(t *testing.T) {
+	r := NewRecorder()
+	// Partial overlap on one track: 0..100 and 50..150.
+	r.Span(Span{Track: ProcTrack(0), Kind: SpanCompute, Start: 0, End: 100, Block: -1})
+	r.Span(Span{Track: ProcTrack(0), Kind: SpanFSWork, Start: 50, End: 150, Block: -1})
+	var sb strings.Builder
+	if err := r.WritePerfetto(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePerfetto(strings.NewReader(sb.String())); err == nil {
+		t.Fatal("validator accepted partially overlapping sync spans")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := sample()
+	out := r.Timeline(TimelineOptions{Width: 30})
+	for _, want := range []string{"proc0", "proc1", "disk2", "barrier", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Filtered to proc1, the other rows disappear.
+	out = r.Timeline(TimelineOptions{Width: 30, Tracks: []Track{ProcTrack(1)}})
+	if strings.Contains(out, "disk2") || !strings.Contains(out, "proc1") {
+		t.Fatalf("track filter failed:\n%s", out)
+	}
+	// Window clipping keeps the render within bounds.
+	out = r.Timeline(TimelineOptions{From: 50, To: 150, Width: 20})
+	if !strings.Contains(out, "150 us") {
+		t.Fatalf("window end missing:\n%s", out)
+	}
+}
+
+func TestCounterSink(t *testing.T) {
+	cs := &CounterSink{}
+	cs.Add(CtrDiskRequests, 2)
+	cs.Add(CtrDiskRequests, 3)
+	cs.Span(Span{}) // dropped, must not panic
+	snap := cs.Snapshot()
+	if snap.Get(CtrDiskRequests) != 5 {
+		t.Fatalf("snapshot = %d, want 5", snap.Get(CtrDiskRequests))
+	}
+	d := Sub(snap, Counters{})
+	if d.Get(CtrDiskRequests) != 5 {
+		t.Fatalf("Sub = %d, want 5", d.Get(CtrDiskRequests))
+	}
+}

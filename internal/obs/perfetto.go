@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto/Chrome trace-event export. The emitted JSON follows the
+// Trace Event Format's JSON-object flavor ({"traceEvents":[...]}) and
+// opens directly in ui.perfetto.dev or chrome://tracing. Virtual
+// microseconds map one-to-one onto the format's "ts"/"dur" fields,
+// which are also microseconds, so no scaling is applied.
+//
+// Track mapping: each TrackKind becomes one "process" (pid), each
+// track one "thread" (tid) inside it, named via "M" metadata events.
+// Sync span kinds — which nest by construction on their track — export
+// as "X" complete events; async kinds (disk queueing, cache fills),
+// which overlap freely, export as "b"/"e" async pairs so the viewer
+// lays them out on their own sub-tracks instead of breaking the stack.
+
+// perfettoEvent is one entry of the traceEvents array. Fields are
+// pruned per phase type via omitempty (with Dur/TID kept explicit
+// where zero is meaningful).
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoTrace struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+func perfettoPID(k TrackKind) int { return int(k) + 1 }
+
+var perfettoProcessNames = [numTrackKinds]string{
+	"processors", "disks", "barrier",
+}
+
+// WritePerfetto exports the trace as Chrome/Perfetto trace-event JSON.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	events := make([]perfettoEvent, 0, 2*len(r.Spans)+8)
+	kinds := make(map[TrackKind]bool)
+	for _, t := range r.Tracks() {
+		if !kinds[t.Kind] {
+			kinds[t.Kind] = true
+			events = append(events, perfettoEvent{
+				Name: "process_name", Ph: "M", PID: perfettoPID(t.Kind),
+				Args: map[string]any{"name": perfettoProcessNames[t.Kind]},
+			})
+		}
+		events = append(events, perfettoEvent{
+			Name: "thread_name", Ph: "M",
+			PID: perfettoPID(t.Kind), TID: t.ID,
+			Args: map[string]any{"name": t.String()},
+		})
+	}
+	asyncID := 0
+	for _, s := range r.Spans {
+		args := map[string]any{"arg": s.Arg}
+		if s.Block >= 0 {
+			args["block"] = s.Block
+		}
+		pid, tid := perfettoPID(s.Track.Kind), s.Track.ID
+		if s.Kind.Async() {
+			// Async pair: same cat+id+pid joins begin to end.
+			asyncID++
+			id := fmt.Sprintf("a%d", asyncID)
+			events = append(events,
+				perfettoEvent{
+					Name: s.Kind.String(), Ph: "b", Cat: s.Kind.String(),
+					TS: s.Start, PID: pid, TID: tid, ID: id, Args: args,
+				},
+				perfettoEvent{
+					Name: s.Kind.String(), Ph: "e", Cat: s.Kind.String(),
+					TS: s.End, PID: pid, TID: tid, ID: id,
+				})
+			continue
+		}
+		dur := s.Dur()
+		events = append(events, perfettoEvent{
+			Name: s.Kind.String(), Ph: "X", Cat: s.Kind.String(),
+			TS: s.Start, Dur: &dur, PID: pid, TID: tid, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidatePerfetto parses Perfetto trace-event JSON and checks the
+// structural invariants the exporter promises:
+//
+//   - the document is a {"traceEvents":[...]} object whose events all
+//     carry a known phase ("M", "X", "b", "e");
+//   - "X" complete events on one (pid, tid) track strictly nest —
+//     no two sync spans partially overlap;
+//   - every async "b" has a matching "e" with the same (cat, id, pid)
+//     at a time ≥ its begin, and no id is reused while open.
+//
+// It returns a short human-readable summary (event and track counts)
+// on success.
+func ValidatePerfetto(r io.Reader) (string, error) {
+	var trace perfettoTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&trace); err != nil {
+		return "", fmt.Errorf("perfetto: bad JSON: %v", err)
+	}
+	type trackKey struct{ pid, tid int }
+	type openAsync struct{ ts int64 }
+	syncSpans := make(map[trackKey][]perfettoEvent)
+	open := make(map[string]openAsync)
+	counts := map[string]int{}
+	for i, ev := range trace.TraceEvents {
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "M":
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return "", fmt.Errorf("perfetto: event %d (%s): X without non-negative dur", i, ev.Name)
+			}
+			k := trackKey{ev.PID, ev.TID}
+			syncSpans[k] = append(syncSpans[k], ev)
+		case "b":
+			key := fmt.Sprintf("%s/%s/%d", ev.Cat, ev.ID, ev.PID)
+			if _, dup := open[key]; dup {
+				return "", fmt.Errorf("perfetto: event %d (%s): async id %s reopened while open", i, ev.Name, key)
+			}
+			open[key] = openAsync{ev.TS}
+		case "e":
+			key := fmt.Sprintf("%s/%s/%d", ev.Cat, ev.ID, ev.PID)
+			b, ok := open[key]
+			if !ok {
+				return "", fmt.Errorf("perfetto: event %d (%s): async end without begin (%s)", i, ev.Name, key)
+			}
+			if ev.TS < b.ts {
+				return "", fmt.Errorf("perfetto: event %d (%s): async end before begin (%s)", i, ev.Name, key)
+			}
+			delete(open, key)
+		default:
+			return "", fmt.Errorf("perfetto: event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if len(open) > 0 {
+		for key := range open {
+			return "", fmt.Errorf("perfetto: async span %s never ends", key)
+		}
+	}
+	tracks := 0
+	for k, spans := range syncSpans {
+		tracks++
+		// Sort by start ascending, longer-first on ties, then sweep a
+		// stack: every span must either start after the enclosing span
+		// ends (sibling) or end within it (child). A partial overlap
+		// fails both and is a nesting violation.
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].TS != spans[j].TS {
+				return spans[i].TS < spans[j].TS
+			}
+			return *spans[i].Dur > *spans[j].Dur
+		})
+		var stack []perfettoEvent
+		for _, ev := range spans {
+			end := ev.TS + *ev.Dur
+			for len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if ev.TS >= top.TS+*top.Dur {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				if end > top.TS+*top.Dur {
+					return "", fmt.Errorf(
+						"perfetto: track pid=%d tid=%d: %q [%d,%d] partially overlaps %q [%d,%d]",
+						k.pid, k.tid, ev.Name, ev.TS, end,
+						top.Name, top.TS, top.TS+*top.Dur)
+				}
+				break
+			}
+			stack = append(stack, ev)
+		}
+	}
+	return fmt.Sprintf("ok: %d events (%d sync, %d async pairs, %d meta) on %d sync tracks",
+		len(trace.TraceEvents), counts["X"], counts["b"], counts["M"], tracks), nil
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Recorder is a Sink that retains every span and counter increment in
+// memory for later inspection, export, or serialization. It is not
+// safe for concurrent use; attach one Recorder per simulation run.
+type Recorder struct {
+	Spans    []Span
+	Counters Counters
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span implements Sink.
+func (r *Recorder) Span(s Span) { r.Spans = append(r.Spans, s) }
+
+// Add implements Sink.
+func (r *Recorder) Add(c Counter, delta int64) { r.Counters[c] += delta }
+
+// End returns the largest span end time in the trace, i.e. the virtual
+// duration it covers.
+func (r *Recorder) End() int64 {
+	var end int64
+	for _, s := range r.Spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Tracks returns the distinct tracks present in the trace, sorted by
+// kind then ID.
+func (r *Recorder) Tracks() []Track {
+	seen := make(map[Track]bool)
+	var ts []Track
+	for _, s := range r.Spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			ts = append(ts, s.Track)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Kind != ts[j].Kind {
+			return ts[i].Kind < ts[j].Kind
+		}
+		return ts[i].ID < ts[j].ID
+	})
+	return ts
+}
+
+// traceHeader identifies the span-trace text format. Version bumps
+// when the line grammar changes incompatibly.
+const traceHeader = "# rapidtrace v1"
+
+// WriteTo serializes the trace in a line-oriented text format:
+//
+//	# rapidtrace v1
+//	span <track> <kind> <start> <end> <block> <arg>
+//	ctr <name> <value>
+//
+// Spans appear in emission order (sorted by end time within a track by
+// construction), counters sorted by name. The format round-trips
+// through Read and is stable across runs of the same configuration,
+// which is what the determinism test pins.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(bw, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := put("%s\n", traceHeader); err != nil {
+		return n, err
+	}
+	for _, s := range r.Spans {
+		if err := put("span %s %s %d %d %d %d\n",
+			s.Track, s.Kind, s.Start, s.End, s.Block, s.Arg); err != nil {
+			return n, err
+		}
+	}
+	for c, v := range r.Counters {
+		if v != 0 {
+			if err := put("ctr %s %d\n", Counter(c), v); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ParseTrack converts a track name ("proc3", "disk0", "barrier") back
+// to its Track.
+func ParseTrack(s string) (Track, error) {
+	if s == "barrier" {
+		return BarrierTrack(), nil
+	}
+	i := 0
+	for i < len(s) && (s[i] < '0' || s[i] > '9') {
+		i++
+	}
+	kind, err := ParseTrackKind(s[:i])
+	if err != nil {
+		return Track{}, fmt.Errorf("obs: bad track %q", s)
+	}
+	id, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return Track{}, fmt.Errorf("obs: bad track %q", s)
+	}
+	return Track{kind, id}, nil
+}
+
+// Read parses a trace previously written by WriteTo.
+func Read(rd io.Reader) (*Recorder, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	rec := NewRecorder()
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !sawHeader {
+			if line != traceHeader {
+				return nil, fmt.Errorf("obs: line 1: missing %q header", traceHeader)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "span":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("obs: line %d: span wants 6 operands, got %d", lineNo, len(fields)-1)
+			}
+			track, err := ParseTrack(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+			}
+			kind, err := ParseSpanKind(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+			}
+			var nums [4]int64
+			for i, f := range fields[3:] {
+				nums[i], err = strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: line %d: bad number %q", lineNo, f)
+				}
+			}
+			rec.Spans = append(rec.Spans, Span{
+				Track: track, Kind: kind,
+				Start: nums[0], End: nums[1],
+				Block: int(nums[2]), Arg: nums[3],
+			})
+		case "ctr":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("obs: line %d: ctr wants 2 operands, got %d", lineNo, len(fields)-1)
+			}
+			c, err := ParseCounter(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: bad number %q", lineNo, fields[2])
+			}
+			rec.Counters[c] = v
+		default:
+			return nil, fmt.Errorf("obs: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("obs: empty trace")
+	}
+	return rec, nil
+}
+
+// CounterSink is a Sink that accumulates counters only, dropping
+// spans. Increments are atomic, so one CounterSink may be shared by
+// simulations executing concurrently on the parallel runner's workers
+// — aggregate totals are deterministic even though interleaving is
+// not. Use it when only whole-suite totals are wanted (cmd/report -v)
+// and retaining spans would cost too much memory.
+type CounterSink struct {
+	counters [numCounters]int64
+}
+
+// Span implements Sink; spans are discarded.
+func (cs *CounterSink) Span(Span) {}
+
+// Add implements Sink.
+func (cs *CounterSink) Add(c Counter, delta int64) {
+	atomic.AddInt64(&cs.counters[c], delta)
+}
+
+// Snapshot returns a copy of the current counter values.
+func (cs *CounterSink) Snapshot() Counters {
+	var out Counters
+	for i := range cs.counters {
+		out[i] = atomic.LoadInt64(&cs.counters[i])
+	}
+	return out
+}
+
+// Sub returns the counter deltas a − b.
+func Sub(a, b Counters) Counters {
+	var out Counters
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

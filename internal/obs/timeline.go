@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// ASCII timeline: project the trace onto a metrics.Gantt, one row per
+// track, glyphs by span kind. Nested spans are painted children-last
+// so the finest detail wins; the leftover '.' is compute.
+
+var timelineGlyphs = [numSpanKinds]byte{
+	SpanCompute:        '.',
+	SpanRead:           'r',
+	SpanFSWork:         'f',
+	SpanDemandWait:     'D',
+	SpanHitWait:        'h',
+	SpanSyncWait:       'S',
+	SpanFrameWait:      'F',
+	SpanBackoff:        'x',
+	SpanPrefetchAction: 'p',
+	SpanDiskQueue:      'q',
+	SpanDiskTransfer:   'T',
+	SpanCacheFill:      0, // home-node fills clutter proc rows; skip
+	SpanBarrierGen:     'B',
+}
+
+// TimelineOptions selects what the timeline shows.
+type TimelineOptions struct {
+	// From/To clip the window; To=0 means the trace end.
+	From, To int64
+	// Tracks limits the rows shown; nil means all tracks.
+	Tracks []Track
+	// Width is the number of time columns (default 96).
+	Width int
+}
+
+// Timeline renders the trace as an ASCII Gantt chart.
+func (r *Recorder) Timeline(opts TimelineOptions) string {
+	to := opts.To
+	if to <= 0 {
+		to = r.End()
+	}
+	want := func(t Track) bool {
+		if opts.Tracks == nil {
+			return true
+		}
+		for _, w := range opts.Tracks {
+			if w == t {
+				return true
+			}
+		}
+		return false
+	}
+	byTrack := make(map[Track][]Span)
+	for _, s := range r.Spans {
+		if s.End <= opts.From || s.Start >= to || !want(s.Track) {
+			continue
+		}
+		if timelineGlyphs[s.Kind] == 0 {
+			continue
+		}
+		byTrack[s.Track] = append(byTrack[s.Track], s)
+	}
+	tracks := make([]Track, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].Kind != tracks[j].Kind {
+			return tracks[i].Kind < tracks[j].Kind
+		}
+		return tracks[i].ID < tracks[j].ID
+	})
+	g := metrics.Gantt{
+		Title: fmt.Sprintf("timeline %d..%d us", opts.From, to),
+		Start: opts.From, End: to, Unit: " us",
+		Legend: timelineLegend(),
+	}
+	g.Rows = make([]metrics.GanttRow, 0, len(tracks))
+	for _, t := range tracks {
+		spans := byTrack[t]
+		// Longest-first so nested children paint over their parents;
+		// stable on ties to keep output deterministic.
+		sort.SliceStable(spans, func(i, j int) bool {
+			return spans[i].Dur() > spans[j].Dur()
+		})
+		row := metrics.GanttRow{Label: t.String()}
+		for _, s := range spans {
+			row.Bars = append(row.Bars, metrics.GanttBar{
+				Start: s.Start, End: s.End, Glyph: timelineGlyphs[s.Kind],
+			})
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	return g.Render(metrics.RenderOptions{Width: opts.Width})
+}
+
+func timelineLegend() []string {
+	var legend []string
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		if g := timelineGlyphs[k]; g != 0 {
+			legend = append(legend, fmt.Sprintf("%c=%s", g, k))
+		}
+	}
+	return legend
+}

@@ -1,6 +1,9 @@
 package prefetch
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // Scheduler drives the paper's idle-time prefetching (§III) for one
 // processor without goroutine handoffs. While the processor is parked
@@ -30,7 +33,14 @@ type Scheduler struct {
 	ev       *sim.Event
 	deadline sim.Time
 	ran      bool
+
+	obs obs.Sink // nil = no observability (the common case)
 }
+
+// SetObserver installs an observability sink counting the idle waits
+// this scheduler hosts. The actions themselves are spanned by the
+// engine's begin/finish callbacks, which know what each action did.
+func (s *Scheduler) SetObserver(sink obs.Sink) { s.obs = sink }
 
 // NewScheduler returns an idle-time prefetch scheduler for process p.
 func NewScheduler(k *sim.Kernel, p *sim.Proc, begin func(sim.Time) (sim.Duration, bool), finish func()) *Scheduler {
@@ -47,6 +57,9 @@ func NewScheduler(k *sim.Kernel, p *sim.Proc, begin func(sim.Time) (sim.Duration
 // only; one Wait may be outstanding per Scheduler.
 func (s *Scheduler) Wait(ev *sim.Event, deadline sim.Time) (ranAction bool) {
 	s.ev, s.deadline, s.ran = ev, deadline, false
+	if s.obs != nil {
+		s.obs.Add(obs.CtrPrefetchWaits, 1)
+	}
 	if d, ok := s.begin(deadline); ok {
 		s.ran = true
 		s.k.AfterWake(d, s)

@@ -23,10 +23,13 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -109,7 +112,11 @@ func Map[T any](opts Options, n int, job func(*Ctx) (T, error)) ([]T, error) {
 			}
 		}()
 		seed := rng.SplitSeed(opts.Seed, uint64(i))
-		results[i], errs[i] = job(&Ctx{Index: i, Seed: seed, RNG: rng.New(seed, uint64(i))})
+		// Label the job body so CPU profiles of a suite attribute samples
+		// to individual runs (pprof -tagfocus run=17).
+		pprof.Do(context.Background(), pprof.Labels("run", strconv.Itoa(i)), func(context.Context) {
+			results[i], errs[i] = job(&Ctx{Index: i, Seed: seed, RNG: rng.New(seed, uint64(i))})
+		})
 	}
 
 	workers := opts.EffectiveWorkers()
@@ -146,8 +153,13 @@ func Map[T any](opts Options, n int, job func(*Ctx) (T, error)) ([]T, error) {
 // RunConfigs executes one simulation per configuration and returns the
 // results in configuration order.
 func RunConfigs(opts Options, cfgs []core.Config) ([]*core.Result, error) {
-	return Map(opts, len(cfgs), func(c *Ctx) (*core.Result, error) {
-		return core.Run(cfgs[c.Index])
+	return Map(opts, len(cfgs), func(c *Ctx) (res *core.Result, err error) {
+		// The cfg label (pattern/sync/io/pf) stacks on Map's run index, so
+		// profiles can be sliced by experimental cell (-tagfocus cfg=...).
+		pprof.Do(context.Background(), pprof.Labels("cfg", cfgs[c.Index].Label()), func(context.Context) {
+			res, err = core.Run(cfgs[c.Index])
+		})
+		return res, err
 	})
 }
 

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Waiter is a non-blocking continuation. Wake runs in kernel context at
@@ -40,7 +42,14 @@ type Kernel struct {
 	running bool
 	active  int  // live (not yet finished) processes
 	limit   Time // RunUntil deadline; bounds the Advance fast path
+
+	obs obs.Sink // nil = no observability (the common case)
 }
+
+// SetObserver installs an observability sink counting the kernel's
+// dispatches (events, continuation wakes, process steps, spawns). A
+// nil sink — the default — costs one branch per dispatch.
+func (k *Kernel) SetObserver(s obs.Sink) { k.obs = s }
 
 // NewKernel returns a kernel with the clock at time zero and no pending
 // events.
@@ -135,6 +144,9 @@ func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) *Proc {
 	}
 	k.procs = append(k.procs, p)
 	k.active++
+	if k.obs != nil {
+		k.obs.Add(obs.CtrKernelSpawns, 1)
+	}
 	go func() {
 		<-p.resume
 		fn(p)
@@ -219,6 +231,15 @@ func (p *Proc) Yield() {
 
 // dispatch executes one popped event record.
 func (k *Kernel) dispatch(e *event) {
+	if k.obs != nil {
+		k.obs.Add(obs.CtrKernelEvents, 1)
+		switch e.kind {
+		case evStep:
+			k.obs.Add(obs.CtrKernelSteps, 1)
+		case evWake:
+			k.obs.Add(obs.CtrKernelWakes, 1)
+		}
+	}
 	switch e.kind {
 	case evStep:
 		k.step(e.proc)

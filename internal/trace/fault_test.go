@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pattern"
+)
+
+// faultedRun records a run under transient fault injection, so the
+// trace carries read-retry events with outcomes.
+func faultedRun(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	cfg := core.DefaultConfig(pattern.GW)
+	cfg.Procs = 4
+	cfg.Disks = 4
+	cfg.Pattern.Procs = 4
+	cfg.Pattern.TotalBlocks = 120
+	cfg.Fault = fault.Config{Seed: 7, ReadErrorRate: 0.1}
+	cfg.Trace = rec.Hook()
+	core.MustRun(cfg)
+	return rec
+}
+
+// TestFaultOutcomeRoundTrip writes a faulted trace and reads it back:
+// every retry event's outcome and attempt count must survive, and the
+// re-serialization must be byte-identical.
+func TestFaultOutcomeRoundTrip(t *testing.T) {
+	rec := faultedRun(t)
+	retries := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == core.EvReadRetry {
+			retries++
+			if ev.Outcome == core.OutcomeNone {
+				t.Fatalf("retry event without an outcome: %+v", ev)
+			}
+			if ev.Attempt < 1 {
+				t.Fatalf("retry event with attempt %d: %+v", ev.Attempt, ev)
+			}
+		}
+	}
+	if retries == 0 {
+		t.Fatal("no read-retry events at a 10% error rate")
+	}
+
+	var first bytes.Buffer
+	if _, err := rec.WriteTo(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range back.Events() {
+		if ev != rec.Events()[i] {
+			t.Fatalf("event %d mismatch: %+v != %+v", i, ev, rec.Events()[i])
+		}
+	}
+	var second bytes.Buffer
+	if _, err := back.WriteTo(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("faulted trace not byte-stable across a round trip")
+	}
+}
+
+// TestFaultFreeTraceStaysFiveField guards the format compatibility
+// promise: without faults no line grows the outcome fields, so old
+// tooling (and old golden files) keep parsing.
+func TestFaultFreeTraceStaysFiveField(t *testing.T) {
+	rec := recordedRun(t, pattern.GW, true)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if got := len(strings.Fields(line)); got != 5 {
+			t.Fatalf("line %d has %d fields, want 5: %q", i+1, got, line)
+		}
+	}
+}
+
+// TestFaultOutcomeParsing covers the extended-format error paths and
+// the outcome name round trip.
+func TestFaultOutcomeParsing(t *testing.T) {
+	for o := core.OutcomeNone; o <= core.OutcomeDead; o++ {
+		back, err := core.ParseFaultOutcome(o.String())
+		if err != nil || back != o {
+			t.Fatalf("outcome %v round trip: %v, %v", o, back, err)
+		}
+	}
+	good := "5 1 read-retry 3 -1 transient 2\n"
+	r, err := Read(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := r.Events()[0]
+	if ev.Outcome != core.OutcomeTransient || ev.Attempt != 2 {
+		t.Fatalf("parsed %+v", ev)
+	}
+	for _, bad := range []string{
+		"5 1 read-retry 3 -1 transient",   // 6 fields
+		"5 1 read-retry 3 -1 sideways 2",  // unknown outcome
+		"5 1 read-retry 3 -1 transient x", // bad attempt
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read accepted %q", bad)
+		}
+	}
+}

@@ -39,12 +39,23 @@ func (r *Recorder) Events() []core.Event { return r.events }
 func (r *Recorder) Len() int { return len(r.events) }
 
 // WriteTo serializes the trace as one line per event:
-// time_us node kind block index.
+// time_us node kind block index. Events carrying a fault outcome (read
+// retries under fault injection) append two more fields — outcome and
+// attempt — so the outcome survives the round trip; fault-free events
+// keep the original five-field form, and a fault-free trace file is
+// byte-identical to one written before outcomes existed.
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	for _, ev := range r.events {
-		c, err := fmt.Fprintf(bw, "%d %d %s %d %d\n", int64(ev.T), ev.Node, ev.Kind, ev.Block, ev.Index)
+		var c int
+		var err error
+		if ev.Outcome != core.OutcomeNone || ev.Attempt != 0 {
+			c, err = fmt.Fprintf(bw, "%d %d %s %d %d %s %d\n",
+				int64(ev.T), ev.Node, ev.Kind, ev.Block, ev.Index, ev.Outcome, ev.Attempt)
+		} else {
+			c, err = fmt.Fprintf(bw, "%d %d %s %d %d\n", int64(ev.T), ev.Node, ev.Kind, ev.Block, ev.Index)
+		}
 		n += int64(c)
 		if err != nil {
 			return n, err
@@ -56,7 +67,7 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 // kindByName maps the serialized names back to event kinds.
 var kindByName = func() map[string]core.EventKind {
 	m := map[string]core.EventKind{}
-	for k := core.EvReadStart; k <= core.EvSyncRelease; k++ {
+	for k := core.EvReadStart; k <= core.EvReadRetry; k++ {
 		m[k.String()] = k
 	}
 	return m
@@ -75,8 +86,8 @@ func Read(rd io.Reader) (*Recorder, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+		if len(fields) != 5 && len(fields) != 7 {
+			return nil, fmt.Errorf("trace: line %d: want 5 or 7 fields, got %d", line, len(fields))
 		}
 		t, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
@@ -98,9 +109,20 @@ func Read(rd io.Reader) (*Recorder, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad index: %w", line, err)
 		}
-		r.events = append(r.events, core.Event{
+		ev := core.Event{
 			T: sim.Time(t), Node: node, Kind: kind, Block: block, Index: index,
-		})
+		}
+		if len(fields) == 7 {
+			ev.Outcome, err = core.ParseFaultOutcome(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			ev.Attempt, err = strconv.Atoi(fields[6])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad attempt: %w", line, err)
+			}
+		}
+		r.events = append(r.events, ev)
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, err
@@ -116,6 +138,10 @@ type Analysis struct {
 	UnreadyHits int
 	DemandFetch int
 	Prefetches  int
+	// Retries counts read-retry events, and RetriesByOutcome breaks
+	// them down by fault outcome (fault injection only).
+	Retries          int
+	RetriesByOutcome map[core.FaultOutcome]int
 	// GlobalSequentiality is the fraction of successive read requests
 	// (merged over all processes, in time order) whose block is exactly
 	// one past the previous request's block — the paper's "roughly
@@ -170,6 +196,12 @@ func Analyze(events []core.Event) *Analysis {
 			a.DemandFetch++
 		case core.EvPrefetchIssue:
 			a.Prefetches++
+		case core.EvReadRetry:
+			a.Retries++
+			if a.RetriesByOutcome == nil {
+				a.RetriesByOutcome = map[core.FaultOutcome]int{}
+			}
+			a.RetriesByOutcome[ev.Outcome]++
 		}
 	}
 	for _, n := range runLen {
@@ -190,5 +222,10 @@ func (a *Analysis) String() string {
 		a.Reads, a.DemandFetch, a.Prefetches, a.ReadyHits, a.UnreadyHits)
 	fmt.Fprintf(&b, "global sequentiality %.3f, mean local run %.1f blocks, mean inter-request %.2f ms\n",
 		a.GlobalSequentiality, a.LocalRunLength.Mean(), a.InterRequest.Mean())
+	if a.Retries > 0 {
+		fmt.Fprintf(&b, "read retries %d (transient=%d timeout=%d dead=%d)\n",
+			a.Retries, a.RetriesByOutcome[core.OutcomeTransient],
+			a.RetriesByOutcome[core.OutcomeTimeout], a.RetriesByOutcome[core.OutcomeDead])
+	}
 	return b.String()
 }
