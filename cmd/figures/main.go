@@ -19,7 +19,7 @@ var renderOpts rapid.RenderOptions
 
 func main() {
 	var (
-		figArg  = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, all, or faults (extension; not in all)")
+		figArg  = flag.String("fig", "all", "figure id: 1, 3..16, mpt, buffers, patterns, predictors, scale, layouts, sched, hybrid, all, or faults/nodefaults (extensions; not in all)")
 		scale   = flag.String("scale", "paper", "experiment scale: paper or test")
 		width   = flag.Int("w", 64, "plot width")
 		height  = flag.Int("h", 20, "plot height")
@@ -178,6 +178,14 @@ func main() {
 		emit(r.TotalTime)
 		emit(r.Improvement)
 		emit(r.Retries)
+	}
+
+	// Likewise explicit-only: the node-level fault extension (straggler
+	// sweep with and without prefetching).
+	if want["nodefaults"] {
+		r := rapid.RunNodeFaultSweep(opts, rapid.DefaultStragglerFactors())
+		emit(r.TotalTime)
+		emit(r.Improvement)
 	}
 }
 

@@ -53,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		faultRate   = fs.Float64("fault-rate", 0, "per-request transient read-error probability [0,1)")
 		faultSeed   = fs.Uint64("fault-seed", 1, "seed for all fault draws")
 		killAtMS    = fs.Float64("disk-kill-at", 0, "kill disk 0 at this virtual time in ms (0 = never)")
+		procSlow    = fs.Float64("proc-slow", 0, "slow the last processor by this factor (0 or 1 = healthy)")
+		procKillMS  = fs.Float64("proc-kill-at", 0, "kill processor 0 at this virtual time in ms (0 = never)")
+		barrierTO   = fs.Float64("barrier-timeout", 0, "barrier quorum-release timeout in ms (0 = wait forever)")
 		traceFile   = fs.String("trace", "", "write the access trace to this file")
 		analyze     = fs.Bool("analyze", false, "print off-line trace analysis")
 		spansFile   = fs.String("trace-out", "", "write the observability span trace to this file")
@@ -101,6 +104,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Seed:          *faultSeed,
 			ReadErrorRate: *faultRate,
 			KillAt:        rapid.Millis(*killAtMS),
+		}
+		nf := rapid.NodeFaultConfig{
+			Seed:           *faultSeed,
+			KillAt:         rapid.Millis(*procKillMS),
+			BarrierTimeout: rapid.Millis(*barrierTO),
+		}
+		if *procSlow > 1 {
+			nf.StragglerFactor = *procSlow
+			nf.StragglerNode = *procs - 1
+		}
+		if nf.Enabled() {
+			cfg.NodeFault = nf
 		}
 		if *ioBound {
 			cfg.ComputeMean = 0

@@ -133,6 +133,105 @@ func TestDefaultOutputHasNoFaultLines(t *testing.T) {
 	}
 }
 
+// Inert node-fault flag values (0 and 1 both mean "healthy") must
+// leave the report byte-identical to a run without the flags at all —
+// the zero-value config takes the exact pre-fault code path.
+func TestNodeFaultFlagsZeroValueIdentity(t *testing.T) {
+	base := append([]string{"-pattern", "lfp", "-sync", "each", "-prefetch", "-iobound"}, small...)
+	clean, _, err := runCmd(t, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-proc-slow", "0"},
+		{"-proc-slow", "1"},
+		{"-proc-kill-at", "0"},
+		{"-barrier-timeout", "0"},
+		{"-proc-slow", "1", "-proc-kill-at", "0", "-barrier-timeout", "0"},
+	} {
+		got, _, err := runCmd(t, append(append([]string{}, base...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != clean {
+			t.Fatalf("inert flags %v changed the output:\n--- clean ---\n%s\n--- flagged ---\n%s", extra, clean, got)
+		}
+	}
+	// And the golden file itself is the same run — the zero-value
+	// config is pinned against the pre-node-fault golden.
+	want, err := os.ReadFile(filepath.Join("testdata", "lfp_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != string(want) {
+		t.Fatal("clean run diverges from the pinned golden")
+	}
+}
+
+// A straggler run is deterministic and surfaces the node-fault
+// counters in its report.
+func TestStragglerRunDeterministic(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-sync", "each", "-prefetch", "-proc-slow", "4"}, small...)
+	a, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two identical straggler invocations diverged:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "node faults") {
+		t.Fatalf("straggler output missing node-fault lines:\n%s", a)
+	}
+}
+
+// Killing a processor mid-run with a barrier quorum timeout completes
+// (no deadlock) and reports the survivor and takeover counters.
+func TestProcKillRunCompletes(t *testing.T) {
+	args := append([]string{"-pattern", "lfp", "-sync", "each",
+		"-proc-kill-at", "400", "-barrier-timeout", "100"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"procs alive 3/4", "quorum", "takeover"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("proc-kill output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// The combined chaos invocation from the CI smoke — straggler plus a
+// dead disk — completes and reports both fault layers.
+func TestChaosSmokeCompletes(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-sync", "each", "-prefetch",
+		"-proc-slow", "4", "-disk-kill-at", "500"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"node faults", "disks alive 3/4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// JSON output carries the node-fault counters for scripted consumers.
+func TestJSONNodeFaultCounters(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-sync", "each", "-proc-slow", "4", "-json"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got, "{") || !strings.Contains(got, "\"AliveProcs\": 4") {
+		t.Fatalf("JSON output missing node-fault counters:\n%s", got)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	args := append([]string{"-pattern", "gw", "-prefetch", "-json"}, small...)
 	got, _, err := runCmd(t, args...)

@@ -30,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale   = fs.String("scale", "paper", "experiment scale: paper or test")
 		workers = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		faults  = fs.Bool("faults", false, "also check the fault-injection extension's claims")
+		nfaults = fs.Bool("nodefaults", false, "also check the node-level fault tolerance extension's claims")
 		verbose = fs.Bool("v", false, "include per-claim run statistics (events, disk requests, hit ratio, wall clock)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +58,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\nchecking the fault-injection extension's claims...\n\n")
 		if fc := verdict(rapid.VerifyFaultClaims(opts), *verbose, stdout, stderr); fc > code {
 			code = fc
+		}
+	}
+	if *nfaults {
+		fmt.Fprintf(stdout, "\nchecking the node-level fault tolerance extension's claims...\n\n")
+		if nc := verdict(rapid.VerifyNodeFaultClaims(opts), *verbose, stdout, stderr); nc > code {
+			code = nc
 		}
 	}
 	return code

@@ -91,3 +91,23 @@ func TestRunFaultAudit(t *testing.T) {
 		}
 	}
 }
+
+// TestRunNodeFaultAudit exercises the -nodefaults extension audit: the
+// default 23-claim table is unchanged and the node-fault claims N1–N5
+// all hold.
+func TestRunNodeFaultAudit(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full audit skipped in -short mode")
+	}
+	var out, errw strings.Builder
+	code := run([]string{"-scale=test", "-workers=4", "-nodefaults"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("node-fault audit exit = %d, stderr:\n%s\nstdout:\n%s", code, errw.String(), out.String())
+	}
+	for _, want := range []string{"23 of 23 claims hold", "5 of 5 claims hold", "N3", "N5"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("node-fault audit output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package audit implements a runtime invariant auditor: a periodic
+// virtual-time sweep over the simulation's live data structures —
+// kernel wakeups, cache bookkeeping, disk queues, barrier membership —
+// that panics with a *named* invariant the moment one is violated.
+//
+// A corrupted simulator does not usually crash at the corruption: it
+// produces a subtly wrong number thousands of events later, or a
+// deadlock whose root cause is long gone. The auditor moves the
+// failure to the first sweep after the corruption, while the state
+// that explains it is still intact. Every registered check is a pure
+// observer (it must never mutate the state it audits) and the sweep
+// itself is scheduled as an ordinary kernel event, so an audited run
+// advances through exactly the same virtual times and state
+// transitions as an unaudited one — the sweeps only read.
+//
+// The experiment harness and the test suite run with auditing on;
+// golden-output paths leave it off, since sweep events alter the
+// kernel-event *counts* that observability reports (never the
+// simulated results themselves).
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Violation reports a named invariant that failed during a sweep. The
+// auditor panics with *Violation so tests can assert on which
+// invariant tripped; Unwrap exposes the underlying error for
+// errors.Is/errors.As chains.
+type Violation struct {
+	Invariant string // the registered name of the failed check
+	At        sim.Time
+	Err       error
+}
+
+// Error describes the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("audit: invariant %q violated at %v: %v", v.Invariant, v.At, v.Err)
+}
+
+// Unwrap returns the underlying check error.
+func (v *Violation) Unwrap() error { return v.Err }
+
+// check is one registered invariant.
+type check struct {
+	name string
+	fn   func() error
+}
+
+// Auditor periodically sweeps registered invariant checks in virtual
+// time. The zero value is not usable; see New.
+type Auditor struct {
+	k      *sim.Kernel
+	every  sim.Duration
+	checks []check
+	sweeps int
+}
+
+// New returns an auditor that sweeps every `every` of virtual time
+// once started. The interval must be positive.
+func New(k *sim.Kernel, every sim.Duration) *Auditor {
+	if every <= 0 {
+		panic(fmt.Sprintf("audit: non-positive sweep interval %v", every))
+	}
+	return &Auditor{k: k, every: every}
+}
+
+// Register adds a named invariant check. Checks run in registration
+// order; each must be a pure observer returning nil when the
+// invariant holds.
+func (a *Auditor) Register(name string, fn func() error) {
+	if name == "" || fn == nil {
+		panic("audit: check needs a name and a function")
+	}
+	a.checks = append(a.checks, check{name, fn})
+}
+
+// Start schedules the first sweep. Sweeps re-arm themselves only
+// while other events remain pending, so the auditor never keeps an
+// otherwise-finished simulation alive.
+func (a *Auditor) Start() { a.k.After(a.every, a.tick) }
+
+func (a *Auditor) tick() {
+	a.Sweep()
+	if a.k.PendingEvents() > 0 {
+		a.k.After(a.every, a.tick)
+	}
+}
+
+// Sweep runs every registered check now, panicking with a *Violation
+// naming the first one that fails. Callers may also invoke it
+// directly (e.g. a final sweep after the run completes).
+func (a *Auditor) Sweep() {
+	a.sweeps++
+	for _, c := range a.checks {
+		if err := c.fn(); err != nil {
+			panic(&Violation{Invariant: c.name, At: a.k.Now(), Err: err})
+		}
+	}
+}
+
+// Sweeps returns how many sweeps have run.
+func (a *Auditor) Sweeps() int { return a.sweeps }

@@ -1,0 +1,130 @@
+package audit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A healthy run is swept on the configured period and the auditor does
+// not keep the kernel alive once real work is done.
+func TestPeriodicSweeps(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, sim.Millisecond)
+	calls := 0
+	a.Register("always-fine", func() error { calls++; return nil })
+	k.Spawn("worker", 0, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(sim.Millisecond)
+		}
+	})
+	a.Start()
+	k.Run()
+	if a.Sweeps() == 0 || calls != a.Sweeps() {
+		t.Fatalf("sweeps = %d, check calls = %d", a.Sweeps(), calls)
+	}
+	// The last sweep must have seen the heap empty and stopped
+	// re-arming — Run returned, so that already holds; confirm the
+	// sweep count is bounded by the run length.
+	if a.Sweeps() > 11 {
+		t.Fatalf("auditor kept sweeping past the run: %d sweeps", a.Sweeps())
+	}
+}
+
+// A failing check panics with a *Violation naming the invariant, and
+// the underlying error stays reachable through errors.Is.
+func TestViolationPanicsWithName(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, sim.Millisecond)
+	base := errors.New("refcount underflow")
+	a.Register("first-ok", func() error { return nil })
+	a.Register("cache-refcounts", func() error { return base })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("violating sweep did not panic")
+		}
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("panic value %T, want *Violation", r)
+		}
+		if v.Invariant != "cache-refcounts" {
+			t.Fatalf("invariant = %q", v.Invariant)
+		}
+		if !errors.Is(v, base) {
+			t.Fatal("violation does not wrap the check error")
+		}
+		if !strings.Contains(v.Error(), `"cache-refcounts"`) {
+			t.Fatalf("message %q does not name the invariant", v.Error())
+		}
+	}()
+	a.Sweep()
+}
+
+// The first failing check wins; later checks are not consulted.
+func TestFirstFailureWins(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, sim.Millisecond)
+	ran := false
+	a.Register("fails", func() error { return errors.New("boom") })
+	a.Register("after", func() error { ran = true; return nil })
+	func() {
+		defer func() { recover() }()
+		a.Sweep()
+	}()
+	if ran {
+		t.Fatal("check after the failing one still ran")
+	}
+}
+
+// The violation carries the virtual time of the sweep that caught it.
+func TestViolationTimestamp(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, sim.Millisecond)
+	bad := false
+	a.Register("trips-later", func() error {
+		if bad {
+			return errors.New("corrupted")
+		}
+		return nil
+	})
+	// The corruption lands mid-tick at 4.5ms; the 5ms sweep catches it.
+	k.Spawn("worker", 0, func(p *sim.Proc) {
+		p.Advance(4500 * sim.Microsecond)
+		bad = true
+		p.Advance(5 * sim.Millisecond)
+	})
+	a.Start()
+	defer func() {
+		r := recover()
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("panic value %T, want *Violation", r)
+		}
+		if v.At != sim.Time(5*sim.Millisecond) {
+			t.Fatalf("violation at %v, want 5ms (first sweep after corruption)", v.At)
+		}
+	}()
+	k.Run()
+}
+
+func TestConstructionPanics(t *testing.T) {
+	k := sim.NewKernel()
+	for i, fn := range []func(){
+		func() { New(k, 0) },
+		func() { New(k, -sim.Millisecond) },
+		func() { New(k, sim.Millisecond).Register("", func() error { return nil }) },
+		func() { New(k, sim.Millisecond).Register("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -14,6 +14,7 @@ package barrier
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -58,14 +59,27 @@ func Parse(s string) (Style, error) {
 }
 
 // Barrier is a reusable synchronization barrier for a fixed set of
-// parties, with support for withdrawal.
+// member processes (identified by index), with support for withdrawal
+// and — when a timeout is configured — quorum release: a virtual-time
+// watchdog excises the members that have not arrived within the
+// timeout of a generation's first arrival and releases the generation
+// without them, so a dead or straggling member costs bounded skew
+// instead of deadlocking the survivors. An excised member that later
+// arrives rejoins the party set.
 type Barrier struct {
 	k       *sim.Kernel
-	parties int
-	arrived int
+	members []bool // members[i]: process i currently participates
+	present []bool // present[i]: process i arrived in this generation
+	parties int    // count of true entries in members
+	arrived int    // count of true entries in present
 	release *sim.Event
 	// counts for introspection
 	generations int
+
+	// Quorum watchdog state (inert while timeout is zero).
+	timeout        sim.Duration
+	quorumReleases int
+	excisions      []error // one per excision, wrapping fault.ErrBarrierTimeout
 
 	obs      obs.Sink // nil = no observability (the common case)
 	genStart sim.Time // first arrival of the current generation
@@ -76,12 +90,33 @@ type Barrier struct {
 // generation counter per release.
 func (b *Barrier) SetObserver(s obs.Sink) { b.obs = s }
 
-// New returns a barrier for the given number of parties.
+// New returns a barrier whose members are processes 0..parties-1.
 func New(k *sim.Kernel, parties int) *Barrier {
 	if parties <= 0 {
 		panic("barrier: need at least one party")
 	}
-	return &Barrier{k: k, parties: parties, release: sim.NewEvent(k).SetLabel("barrier release")}
+	b := &Barrier{
+		k:       k,
+		members: make([]bool, parties),
+		present: make([]bool, parties),
+		parties: parties,
+		release: sim.NewEvent(k).SetLabel("barrier release"),
+	}
+	for i := range b.members {
+		b.members[i] = true
+	}
+	return b
+}
+
+// SetTimeout arms the quorum watchdog: every generation still open
+// this long after its first arrival is released without its absentees.
+// Zero (the default) disables the watchdog and keeps the barrier's
+// behaviour byte-identical to the pre-quorum implementation.
+func (b *Barrier) SetTimeout(d sim.Duration) {
+	if d < 0 {
+		panic("barrier: negative timeout")
+	}
+	b.timeout = d
 }
 
 // Parties returns the number of currently participating processes.
@@ -94,18 +129,43 @@ func (b *Barrier) Arrived() int { return b.arrived }
 // Generations returns how many times the barrier has released.
 func (b *Barrier) Generations() int { return b.generations }
 
-// Arrive registers the caller's arrival at the current generation and
+// QuorumReleases returns how many generations the watchdog released
+// without their full membership.
+func (b *Barrier) QuorumReleases() int { return b.quorumReleases }
+
+// Excisions returns one error per member excision, each wrapping
+// fault.ErrBarrierTimeout with the generation and member excised. A
+// member that is excised, rejoins, and is excised again appears twice.
+func (b *Barrier) Excisions() []error { return b.excisions }
+
+// Member reports whether process id currently participates.
+func (b *Barrier) Member(id int) bool { return b.members[id] }
+
+// Arrive registers member id's arrival at the current generation and
 // returns the event that fires when the generation releases, along with
 // whether the caller was the last arrival (in which case the event has
 // already fired). The caller then waits on the event however it likes —
-// in the testbed, by running prefetch actions.
-func (b *Barrier) Arrive() (release *sim.Event, last bool) {
-	if b.parties == 0 {
-		panic("barrier: Arrive with no parties")
+// in the testbed, by running prefetch actions. An excised member that
+// arrives rejoins the party set first.
+func (b *Barrier) Arrive(id int) (release *sim.Event, last bool) {
+	if !b.members[id] {
+		// Rejoin: the watchdog gave up on this member, but it is alive
+		// after all. It counts toward the current and future generations
+		// again.
+		b.members[id] = true
+		b.parties++
 	}
+	if b.present[id] {
+		panic(fmt.Sprintf("barrier: member %d arrived twice in one generation", id))
+	}
+	b.present[id] = true
 	b.arrived++
 	if b.arrived == 1 {
 		b.genStart = b.k.Now()
+		if b.timeout > 0 {
+			gen := b.generations
+			b.k.Schedule(b.genStart.Add(b.timeout), func() { b.expire(gen) })
+		}
 	}
 	ev := b.release
 	if b.arrived == b.parties {
@@ -115,18 +175,46 @@ func (b *Barrier) Arrive() (release *sim.Event, last bool) {
 	return ev, false
 }
 
-// Withdraw removes the caller from the barrier's party set, releasing
-// the current generation if the caller was the only absentee.
-func (b *Barrier) Withdraw() {
-	if b.parties == 0 {
-		panic("barrier: Withdraw with no parties")
+// Withdraw removes member id from the barrier's party set, releasing
+// the current generation if it was the only absentee. Withdrawing a
+// member already excised by the watchdog is a no-op.
+func (b *Barrier) Withdraw(id int) {
+	if !b.members[id] {
+		return
 	}
+	if b.present[id] {
+		panic(fmt.Sprintf("barrier: member %d withdrew while waiting", id))
+	}
+	b.members[id] = false
 	b.parties--
 	if b.parties > 0 && b.arrived == b.parties {
 		b.open()
 	}
 	// If parties reached zero with stragglers waiting, that is a caller
 	// bug (a waiter cannot have withdrawn), so nothing to do here.
+}
+
+// expire is the quorum watchdog for one generation: if that generation
+// is still the open one, every member that has not arrived is excised
+// and the generation releases with the quorum that did.
+func (b *Barrier) expire(gen int) {
+	if b.generations != gen || b.arrived == 0 {
+		return // the generation released on its own; stale watchdog
+	}
+	for id, m := range b.members {
+		if m && !b.present[id] {
+			b.members[id] = false
+			b.parties--
+			b.excisions = append(b.excisions, fmt.Errorf(
+				"barrier: generation %d released without member %d: %w",
+				gen, id, fault.ErrBarrierTimeout))
+		}
+	}
+	b.quorumReleases++
+	if b.obs != nil {
+		b.obs.Add(obs.CtrQuorumReleases, 1)
+	}
+	b.open()
 }
 
 func (b *Barrier) open() {
@@ -140,9 +228,41 @@ func (b *Barrier) open() {
 		b.obs.Add(obs.CtrBarrierGens, 1)
 	}
 	b.arrived = 0
+	for i := range b.present {
+		b.present[i] = false
+	}
 	ev := b.release
 	b.release = sim.NewEvent(b.k).SetLabel("barrier release")
 	ev.Fire()
+}
+
+// Audit checks the barrier's bookkeeping invariants — the party and
+// arrival counts agree with the membership and presence sets, and only
+// members can be present — returning a descriptive error on the first
+// violation. It never mutates state.
+func (b *Barrier) Audit() error {
+	members, present := 0, 0
+	for id := range b.members {
+		if b.members[id] {
+			members++
+		}
+		if b.present[id] {
+			present++
+			if !b.members[id] {
+				return fmt.Errorf("barrier: non-member %d is present", id)
+			}
+		}
+	}
+	if members != b.parties {
+		return fmt.Errorf("barrier: parties %d but %d members", b.parties, members)
+	}
+	if present != b.arrived {
+		return fmt.Errorf("barrier: arrived %d but %d present", b.arrived, present)
+	}
+	if b.parties > 0 && b.arrived >= b.parties {
+		return fmt.Errorf("barrier: %d arrivals outstanding with %d parties (generation should have released)", b.arrived, b.parties)
+	}
+	return nil
 }
 
 // GenCounter tracks the sync generations demanded by the global styles

@@ -1,9 +1,11 @@
 package barrier
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -30,7 +32,7 @@ func TestBarrierReleasesWhenAllArrive(t *testing.T) {
 		i := i
 		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
 			p.Advance(sim.Duration(i*10) * sim.Millisecond)
-			ev, last := b.Arrive()
+			ev, last := b.Arrive(i)
 			if last != (i == 2) {
 				t.Errorf("p%d last=%v", i, last)
 			}
@@ -58,7 +60,7 @@ func TestBarrierReusable(t *testing.T) {
 		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
 			for round := 0; round < 5; round++ {
 				p.Advance(sim.Duration(1+i) * sim.Millisecond)
-				ev, _ := b.Arrive()
+				ev, _ := b.Arrive(i)
 				ev.Wait(p)
 				hits++
 			}
@@ -74,7 +76,7 @@ func TestLastArrivalEventAlreadyFired(t *testing.T) {
 	k := sim.NewKernel()
 	b := New(k, 1)
 	k.Spawn("solo", 0, func(p *sim.Proc) {
-		ev, last := b.Arrive()
+		ev, last := b.Arrive(0)
 		if !last {
 			t.Error("solo arrival should be last")
 		}
@@ -93,18 +95,18 @@ func TestWithdrawReleasesWaiters(t *testing.T) {
 	b := New(k, 3)
 	var released sim.Time = -1
 	k.Spawn("waiter", 0, func(p *sim.Proc) {
-		ev, _ := b.Arrive()
+		ev, _ := b.Arrive(0)
 		ev.Wait(p)
 		released = p.Now()
 	})
 	k.Spawn("waiter2", 0, func(p *sim.Proc) {
 		p.Advance(5 * sim.Millisecond)
-		ev, _ := b.Arrive()
+		ev, _ := b.Arrive(1)
 		ev.Wait(p)
 	})
 	k.Spawn("quitter", 0, func(p *sim.Proc) {
 		p.Advance(10 * sim.Millisecond)
-		b.Withdraw()
+		b.Withdraw(2)
 	})
 	k.Run()
 	if released != sim.Time(10*sim.Millisecond) {
@@ -118,13 +120,19 @@ func TestWithdrawReleasesWaiters(t *testing.T) {
 func TestWithdrawWithoutWaiters(t *testing.T) {
 	k := sim.NewKernel()
 	b := New(k, 2)
-	b.Withdraw()
-	b.Withdraw()
+	b.Withdraw(0)
+	b.Withdraw(1)
 	if b.Parties() != 0 {
 		t.Fatalf("parties = %d", b.Parties())
 	}
 	if b.Generations() != 0 {
 		t.Fatal("withdrawals alone should not release generations")
+	}
+	// Withdrawing a member already gone (e.g. excised by the watchdog)
+	// is a no-op, not a panic.
+	b.Withdraw(0)
+	if b.Parties() != 0 {
+		t.Fatalf("parties = %d after repeated withdraw", b.Parties())
 	}
 }
 
@@ -132,8 +140,9 @@ func TestBarrierPanics(t *testing.T) {
 	k := sim.NewKernel()
 	for i, fn := range []func(){
 		func() { New(k, 0) },
-		func() { b := New(k, 1); b.Withdraw(); b.Withdraw() },
-		func() { b := New(k, 1); b.Withdraw(); b.Arrive() },
+		func() { b := New(k, 2); b.Arrive(0); b.Arrive(0) },
+		func() { b := New(k, 2); b.Arrive(0); b.Withdraw(0) },
+		func() { b := New(k, 2); b.SetTimeout(-sim.Millisecond) },
 	} {
 		func() {
 			defer func() {
@@ -150,17 +159,17 @@ func TestArrivedCount(t *testing.T) {
 	k := sim.NewKernel()
 	b := New(k, 3)
 	k.Spawn("p", 0, func(p *sim.Proc) {
-		b.Arrive()
+		b.Arrive(0)
 		if b.Arrived() != 1 {
 			t.Errorf("arrived = %d", b.Arrived())
 		}
 	})
 	k.Spawn("q", 1, func(p *sim.Proc) {
-		b.Arrive()
+		b.Arrive(1)
 		if b.Arrived() != 2 {
 			t.Errorf("arrived = %d", b.Arrived())
 		}
-		b.Withdraw() // third party never shows; release now
+		b.Withdraw(2) // third party never shows; release now
 	})
 	k.Run()
 	if b.Arrived() != 0 {
@@ -216,10 +225,10 @@ func TestUnequalWorkNoDeadlock(t *testing.T) {
 		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
 			for r := 0; r < rounds; r++ {
 				p.Advance(sim.Millisecond)
-				ev, _ := b.Arrive()
+				ev, _ := b.Arrive(i)
 				ev.Wait(p)
 			}
-			b.Withdraw()
+			b.Withdraw(i)
 			finished++
 		})
 	}
@@ -229,5 +238,133 @@ func TestUnequalWorkNoDeadlock(t *testing.T) {
 	}
 	if b.Generations() != parties {
 		t.Fatalf("generations = %d, want %d", b.Generations(), parties)
+	}
+}
+
+// A member that never arrives must not deadlock a timed barrier: the
+// watchdog excises it and releases the generation at first-arrival +
+// timeout, with the excision recorded as a wrapped
+// fault.ErrBarrierTimeout.
+func TestQuorumReleaseExcisesAbsentee(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 3)
+	b.SetTimeout(10 * sim.Millisecond)
+	var released [2]sim.Time
+	for i := 0; i < 2; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
+			p.Advance(sim.Duration(i) * sim.Millisecond) // first arrival at 0ms
+			ev, _ := b.Arrive(i)
+			ev.Wait(p)
+			released[i] = p.Now()
+			b.Withdraw(i)
+		})
+	}
+	// Member 2 is dead: it never arrives.
+	k.Run()
+	for i, rt := range released {
+		if rt != sim.Time(10*sim.Millisecond) {
+			t.Fatalf("p%d released at %v, want 10ms (first arrival + timeout)", i, rt)
+		}
+	}
+	if b.QuorumReleases() != 1 {
+		t.Fatalf("quorum releases = %d, want 1", b.QuorumReleases())
+	}
+	exc := b.Excisions()
+	if len(exc) != 1 {
+		t.Fatalf("excisions = %d, want 1", len(exc))
+	}
+	if !errors.Is(exc[0], fault.ErrBarrierTimeout) {
+		t.Fatalf("excision %v does not wrap fault.ErrBarrierTimeout", exc[0])
+	}
+	if b.Member(2) {
+		t.Fatal("excised member still in the party set")
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatalf("audit after quorum release: %v", err)
+	}
+}
+
+// An excised member that turns out to be alive rejoins on its next
+// arrival instead of panicking or being dropped.
+func TestExcisedMemberRejoins(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 2)
+	b.SetTimeout(5 * sim.Millisecond)
+	var lateGen int
+	k.Spawn("fast", 0, func(p *sim.Proc) {
+		ev, _ := b.Arrive(0)
+		ev.Wait(p) // quorum release at 5ms
+		b.Withdraw(0)
+	})
+	k.Spawn("straggler", 0, func(p *sim.Proc) {
+		p.Advance(50 * sim.Millisecond)
+		ev, last := b.Arrive(1) // rejoins; sole member, releases at once
+		if !last {
+			t.Error("rejoined sole member should release immediately")
+		}
+		ev.Wait(p)
+		lateGen = b.Generations()
+	})
+	k.Run()
+	if b.QuorumReleases() != 1 {
+		t.Fatalf("quorum releases = %d, want 1", b.QuorumReleases())
+	}
+	if lateGen != 2 {
+		t.Fatalf("generations after rejoin = %d, want 2", lateGen)
+	}
+	if !b.Member(1) {
+		t.Fatal("rejoined member not in the party set")
+	}
+}
+
+// A generation that releases on its own before the timeout leaves the
+// stale watchdog a no-op: no quorum release, no excision.
+func TestStaleWatchdogIsNoop(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 2)
+	b.SetTimeout(20 * sim.Millisecond)
+	for i := 0; i < 2; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), 0, func(p *sim.Proc) {
+			p.Advance(sim.Duration(i) * sim.Millisecond)
+			ev, _ := b.Arrive(i)
+			ev.Wait(p)
+			if p.Now() != sim.Time(1*sim.Millisecond) {
+				t.Errorf("released at %v, want 1ms (full arrival)", p.Now())
+			}
+		})
+	}
+	k.Run()
+	if b.QuorumReleases() != 0 || len(b.Excisions()) != 0 {
+		t.Fatalf("stale watchdog acted: %d quorum releases, %d excisions",
+			b.QuorumReleases(), len(b.Excisions()))
+	}
+	if b.Generations() != 1 {
+		t.Fatalf("generations = %d", b.Generations())
+	}
+}
+
+// Seeded corruption of the barrier's internal state must trip Audit.
+func TestAuditCatchesCorruption(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, 3)
+	if err := b.Audit(); err != nil {
+		t.Fatalf("fresh barrier fails audit: %v", err)
+	}
+	b.present[1] = true // present without arrived count
+	if err := b.Audit(); err == nil {
+		t.Fatal("audit missed a presence/arrival mismatch")
+	}
+	b.present[1] = false
+	b.parties = 2 // parties disagrees with membership set
+	if err := b.Audit(); err == nil {
+		t.Fatal("audit missed a parties/membership mismatch")
+	}
+	b.parties = 3
+	b.members[0] = false
+	b.present[0] = true
+	b.arrived = 1
+	b.parties = 2
+	if err := b.Audit(); err == nil {
+		t.Fatal("audit missed a non-member being present")
 	}
 }

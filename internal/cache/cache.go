@@ -95,6 +95,11 @@ type Buffer struct {
 	// class is fixed at construction: demand or prefetch frame.
 	class Class
 
+	// retired is set when a capacity squeeze permanently removes the
+	// frame from service: it sits Invalid, off every list, and is never
+	// claimed again.
+	retired bool
+
 	// reusable-list linkage.
 	prev, next *Buffer
 	onLRU      bool
@@ -299,6 +304,8 @@ type Cache struct {
 
 	prefetchedUnused int
 	perNode          []int
+	// retired counts frames permanently removed by a capacity squeeze.
+	retired int
 	// pfOrder lists prefetched-unused buffers oldest first, for
 	// mistake eviction under EvictablePrefetched.
 	pfOrder []*Buffer
@@ -716,70 +723,119 @@ func (c *Cache) WastedPrefetches() int64 {
 	return c.stats.PrefetchesIssued - c.stats.PrefetchesConsumed
 }
 
+// Squeeze permanently retires up to n idle prefetch-class frames — an
+// injectable capacity squeeze modelling memory pressure from outside
+// the file system. Frames are taken exactly as a prefetch allocation
+// would claim them (free list first, then the reusable LRU, evicting
+// the cached block), so pinned and in-flight buffers are never
+// touched; demand-class frames are exempt, which guarantees the squeeze
+// alone can never wedge demand fetching. It returns how many frames
+// were actually retired (fewer than n when the class runs dry).
+func (c *Cache) Squeeze(n int) int {
+	retired := 0
+	for retired < n {
+		buf := c.claimFrame(PrefetchClass)
+		if buf == nil {
+			break
+		}
+		buf.retired = true
+		c.retired++
+		retired++
+	}
+	return retired
+}
+
+// Retired returns how many frames capacity squeezes have permanently
+// removed from service.
+func (c *Cache) Retired() int { return c.retired }
+
 // CheckInvariants panics if internal bookkeeping is inconsistent. Tests
-// and the engine's debug mode call it.
+// and the engine's debug mode call it; the runtime invariant auditor
+// uses Audit directly so it can name the violated invariant.
 func (c *Cache) CheckInvariants() {
+	if err := c.Audit(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Audit checks the cache's internal bookkeeping — free-list and LRU
+// membership, pin counts, fill states, prefetched-unused accounting,
+// retired frames — returning a descriptive error on the first
+// inconsistency. It never mutates state.
+func (c *Cache) Audit() error {
 	for class := DemandClass; class <= PrefetchClass; class++ {
 		for _, b := range c.free[class] {
-			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.class != class || b.fillErr != nil {
-				panic(fmt.Sprintf("cache: corrupt free buffer %d", b.id))
+			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.class != class || b.fillErr != nil || b.retired {
+				return fmt.Errorf("cache: corrupt free buffer %d", b.id)
 			}
 		}
 	}
 	pf := 0
 	perNode := make([]int, c.opts.Nodes)
 	mapped := 0
+	retired := 0
 	for _, b := range c.buffers {
+		if b.retired {
+			retired++
+			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.prefetched {
+				return fmt.Errorf("cache: retired buffer %d still in service", b.id)
+			}
+			continue
+		}
 		if b.block >= 0 {
 			if c.byBlock[b.block] != b {
-				panic(fmt.Sprintf("cache: buffer %d not in map for block %d", b.id, b.block))
+				return fmt.Errorf("cache: buffer %d not in map for block %d", b.id, b.block)
 			}
 			mapped++
 		}
 		if b.prefetched {
 			if b.pins != 0 {
-				panic(fmt.Sprintf("cache: prefetched-unused buffer %d is pinned", b.id))
+				return fmt.Errorf("cache: prefetched-unused buffer %d is pinned", b.id)
 			}
 			if b.class != PrefetchClass {
-				panic(fmt.Sprintf("cache: prefetched block in demand frame %d", b.id))
+				return fmt.Errorf("cache: prefetched block in demand frame %d", b.id)
 			}
 			pf++
 			perNode[b.prefetchedBy]++
 		}
 		if b.onLRU && (b.pins != 0 || b.state != Ready || b.prefetched) {
-			panic(fmt.Sprintf("cache: buffer %d on LRU in wrong state", b.id))
+			return fmt.Errorf("cache: buffer %d on LRU in wrong state", b.id)
 		}
 		if b.state == Failed && (b.block != -1 || b.pins == 0 || b.prefetched || b.onLRU || b.fillErr == nil) {
-			panic(fmt.Sprintf("cache: failed buffer %d in wrong state", b.id))
+			return fmt.Errorf("cache: failed buffer %d in wrong state", b.id)
 		}
 		if b.state != Failed && b.fillErr != nil {
-			panic(fmt.Sprintf("cache: %v buffer %d carries a fill error", b.state, b.id))
+			return fmt.Errorf("cache: %v buffer %d carries a fill error", b.state, b.id)
 		}
 	}
+	if retired != c.retired {
+		return fmt.Errorf("cache: retired=%d but counted %d", c.retired, retired)
+	}
 	if mapped != len(c.byBlock) {
-		panic("cache: block map size mismatch")
+		return fmt.Errorf("cache: block map size mismatch")
 	}
 	if pf != c.prefetchedUnused {
-		panic(fmt.Sprintf("cache: prefetchedUnused=%d but counted %d", c.prefetchedUnused, pf))
+		return fmt.Errorf("cache: prefetchedUnused=%d but counted %d", c.prefetchedUnused, pf)
 	}
 	if len(c.pfOrder) != pf {
-		panic(fmt.Sprintf("cache: pfOrder has %d entries, want %d", len(c.pfOrder), pf))
+		return fmt.Errorf("cache: pfOrder has %d entries, want %d", len(c.pfOrder), pf)
 	}
 	for _, b := range c.pfOrder {
 		if !b.prefetched {
-			panic(fmt.Sprintf("cache: consumed buffer %d still in pfOrder", b.id))
+			return fmt.Errorf("cache: consumed buffer %d still in pfOrder", b.id)
 		}
 	}
 	for n, v := range perNode {
 		if v != c.perNode[n] {
-			panic(fmt.Sprintf("cache: perNode[%d]=%d but counted %d", n, c.perNode[n], v))
+			return fmt.Errorf("cache: perNode[%d]=%d but counted %d", n, c.perNode[n], v)
 		}
 	}
 	for class := DemandClass; class <= PrefetchClass; class++ {
 		if c.lru[class].len < 0 || c.lru[class].len > c.Capacity() {
-			panic("cache: LRU length out of range")
+			return fmt.Errorf("cache: LRU length out of range")
 		}
 	}
+	return nil
 }
 
 // lruList is an intrusive doubly-linked list of reusable buffers,

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+)
+
+// buildAuditor assembles the runtime invariant auditor over the
+// engine's live structures. Every check is a pure observer; the sweep
+// panics with an *audit.Violation naming the first invariant that
+// fails. Called from Run when cfg.AuditEvery is positive.
+func (e *Engine) buildAuditor() *audit.Auditor {
+	a := audit.New(e.k, e.cfg.AuditEvery)
+	// No lost wakeups: the kernel's live-process count matches its
+	// process table and no event is scheduled in the past.
+	a.Register("kernel-wakeups", e.k.Audit)
+	// Cache refcounts, fill states, free lists, LRU membership, and
+	// retired frames are mutually consistent.
+	a.Register("cache-consistent", e.bcache.Audit)
+	// Disk queues: dead and idle disks hold no queue, in-service
+	// requests are timestamped consistently, FIFO queues stay in
+	// arrival order.
+	a.Register("disk-queues", e.disks.Audit)
+	if e.bar != nil {
+		// Barrier party/arrival counts agree with the membership and
+		// presence sets.
+		a.Register("barrier-counts", e.bar.Audit)
+		// Barrier membership tracks the live processes: a process that
+		// finished cleanly has withdrawn. (A killed process stays a
+		// member until the quorum watchdog excises it — crash
+		// semantics — so only clean finishes are checked.)
+		a.Register("barrier-membership", e.auditMembership)
+	}
+	// Pattern cursors never run past their reference strings.
+	a.Register("cursor-bounds", e.auditCursors)
+	return a
+}
+
+// auditMembership checks that every cleanly finished process has left
+// the barrier.
+func (e *Engine) auditMembership() error {
+	for node, fin := range e.finished {
+		if fin && e.bar.Member(node) {
+			return fmt.Errorf("core: node %d finished but is still a barrier member", node)
+		}
+	}
+	return nil
+}
+
+// auditCursors checks that the pattern cursors stay within their
+// reference strings.
+func (e *Engine) auditCursors() error {
+	if e.pat.Kind.Global() {
+		if e.globalCursor < 0 || e.globalCursor > len(e.pat.Global) {
+			return fmt.Errorf("core: global cursor %d outside [0, %d]", e.globalCursor, len(e.pat.Global))
+		}
+		return nil
+	}
+	for node, c := range e.localCursor {
+		if c < 0 || c > len(e.pat.Local[node]) {
+			return fmt.Errorf("core: node %d local cursor %d outside [0, %d]", node, c, len(e.pat.Local[node]))
+		}
+	}
+	return nil
+}

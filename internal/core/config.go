@@ -97,6 +97,22 @@ type Config struct {
 	// has no error path.
 	Retry fault.RetryPolicy
 
+	// NodeFault configures deterministic processor-level fault
+	// injection: persistent stragglers, transient stalls, a processor
+	// kill with work takeover, barrier quorum timeouts, cache-capacity
+	// squeezes, and prefetch backpressure. The zero value injects
+	// nothing and leaves every run byte-identical to the node-fault-free
+	// testbed.
+	NodeFault fault.NodeConfig
+
+	// AuditEvery, when positive, runs the runtime invariant auditor:
+	// every interval of virtual time, a sweep checks the kernel, cache,
+	// disk queues, and barrier for internal consistency and panics with
+	// the named invariant on a violation. Sweeps only read, so audited
+	// runs produce the same Result as unaudited ones (only the
+	// observability kernel-event counts differ).
+	AuditEvery sim.Duration
+
 	// Seed drives computation-delay randomness (and, via Pattern.Seed,
 	// random portion geometry).
 	Seed uint64
@@ -193,6 +209,23 @@ func (c *Config) Validate() error {
 		if c.Disks < 2 {
 			return fmt.Errorf("core: killing the sole disk leaves no survivor for degraded mode")
 		}
+	}
+	if err := c.NodeFault.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.NodeFault.StragglerFactor > 1 && c.NodeFault.StragglerNode >= c.Procs {
+		return fmt.Errorf("core: NodeFault.StragglerNode %d out of range for %d procs", c.NodeFault.StragglerNode, c.Procs)
+	}
+	if c.NodeFault.KillAt > 0 {
+		if c.NodeFault.KillNode >= c.Procs {
+			return fmt.Errorf("core: NodeFault.KillNode %d out of range for %d procs", c.NodeFault.KillNode, c.Procs)
+		}
+		if c.Procs < 2 {
+			return fmt.Errorf("core: killing the sole processor leaves no survivor to take over its work")
+		}
+	}
+	if c.AuditEvery < 0 {
+		return fmt.Errorf("core: negative AuditEvery %v", c.AuditEvery)
 	}
 	return nil
 }

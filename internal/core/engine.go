@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/barrier"
 	"repro/internal/cache"
 	"repro/internal/disk"
@@ -40,6 +41,21 @@ type Engine struct {
 	inj      *fault.Injector
 	retry    fault.RetryPolicy
 	retryRNG []*rng.Source
+
+	// Node-level fault injection (nil/zero unless
+	// cfg.NodeFault.Enabled()): the per-processor injector, the
+	// kill bookkeeping (which processors died, the FIFO of blocks the
+	// victim abandoned and the event announcing it), the clean-finish
+	// flags the invariant auditor checks against barrier membership,
+	// the wrapped fault.ErrProcDead describing an executed kill, and
+	// the auditor itself (nil unless cfg.AuditEvery > 0).
+	ninj          *fault.NodeInjector
+	deadProc      []bool
+	orphans       []int
+	orphansPosted *sim.Event
+	finished      []bool
+	killErr       error
+	aud           *audit.Auditor
 
 	// Observability sink (nil unless cfg.Obs is set), plus the block
 	// and issued flag of each node's prefetch action in flight, kept
@@ -84,6 +100,7 @@ func New(cfg Config) (*Engine, error) {
 		layout:      interleave.NewWithStrategy(cfg.Layout, pat.FileBlocks, cfg.Disks, cfg.BlockSize),
 		disks:       disk.NewScheduledArray(k, cfg.Disks, profile, cfg.DiskSched),
 		localCursor: make([]int, cfg.Procs),
+		finished:    make([]bool, cfg.Procs),
 		res: &Result{
 			Config:       cfg,
 			PerProc:      make([]ProcStats, cfg.Procs),
@@ -115,6 +132,9 @@ func New(cfg Config) (*Engine, error) {
 	})
 	if cfg.Sync != barrier.None {
 		e.bar = barrier.New(k, cfg.Procs)
+		if cfg.NodeFault.BarrierTimeout > 0 {
+			e.bar.SetTimeout(cfg.NodeFault.BarrierTimeout)
+		}
 	}
 	genEvery := 0
 	if cfg.Sync == barrier.EveryNTotal {
@@ -133,6 +153,9 @@ func New(cfg Config) (*Engine, error) {
 			e.retryRNG[node] = e.inj.RetryStream(node)
 		}
 	}
+	if cfg.NodeFault.Enabled() {
+		e.ninj = fault.NewNodes(cfg.NodeFault, cfg.Procs)
+	}
 	for node := 0; node < cfg.Procs; node++ {
 		e.res.PerProc[node].Node = node
 	}
@@ -146,6 +169,9 @@ func New(cfg Config) (*Engine, error) {
 		}
 		if e.inj != nil {
 			e.inj.SetObserver(cfg.Obs)
+		}
+		if e.ninj != nil {
+			e.ninj.SetObserver(cfg.Obs)
 		}
 	}
 	return e, nil
@@ -161,6 +187,7 @@ func (e *Engine) Run() *Result {
 		e.actionBlock = make([]int, e.cfg.Procs)
 		e.actionIssued = make([]bool, e.cfg.Procs)
 	}
+	e.armNodeFaults()
 	for node := 0; node < e.cfg.Procs; node++ {
 		node := node
 		p := e.k.Spawn(fmt.Sprintf("proc%d", node), 0, func(p *sim.Proc) {
@@ -173,9 +200,19 @@ func (e *Engine) Run() *Result {
 			if e.obs != nil {
 				e.scheds[node].SetObserver(e.obs)
 			}
+			if e.ninj != nil && e.ninj.Config().Backpressure {
+				e.scheds[node].SetGate(e.prefetchAllowed)
+			}
 		}
 	}
+	if e.cfg.AuditEvery > 0 {
+		e.aud = e.buildAuditor()
+		e.aud.Start()
+	}
 	e.k.Run()
+	if e.aud != nil {
+		e.aud.Sweep()
+	}
 	e.res.TotalTime = sim.Duration(e.maxFinish)
 	e.res.Cache = e.bcache.Stats()
 	e.res.DiskResponse = e.disks.ResponseStats()
@@ -183,8 +220,57 @@ func (e *Engine) Run() *Result {
 	e.res.DiskUtilization = e.disks.MeanUtilization(e.maxFinish)
 	e.res.Faults.Disk = e.disks.FaultStats()
 	e.res.Faults.AliveDisks = e.disks.AliveCount()
+	if e.ninj != nil {
+		e.res.Faults.Node.Stalls = e.ninj.Stalls()
+	}
+	if e.bar != nil {
+		e.res.Faults.Node.QuorumReleases = e.bar.QuorumReleases()
+		e.res.Faults.Node.Excisions = len(e.bar.Excisions())
+	}
+	e.res.Faults.Node.AliveProcs = e.cfg.Procs - e.res.Faults.Node.DeadProcs
 	return e.res
 }
+
+// armNodeFaults schedules the node-fault events that fire at a
+// configured virtual time — the processor kill and the cache-capacity
+// squeeze — before the processes start. With no node faults this is a
+// no-op and the run is byte-identical to the pre-fault engine.
+func (e *Engine) armNodeFaults() {
+	if e.ninj == nil {
+		return
+	}
+	if kn, at, ok := e.ninj.Kills(); ok {
+		e.deadProc = make([]bool, e.cfg.Procs)
+		e.orphansPosted = sim.NewEvent(e.k).SetLabel("orphaned work posted")
+		e.k.Schedule(sim.Time(at), func() { e.deadProc[kn] = true })
+	}
+	ncfg := e.ninj.Config()
+	if ncfg.SqueezeAt > 0 {
+		e.k.Schedule(sim.Time(ncfg.SqueezeAt), func() {
+			e.res.Faults.Node.FramesRetired += e.bcache.Squeeze(ncfg.SqueezeFrames)
+		})
+	}
+}
+
+// prefetchAllowed is the backpressure gate installed on every prefetch
+// scheduler when NodeFault.Backpressure is set: an idle wait hosts no
+// action while the prefetch buffer class has neither a free nor a
+// reclaimable frame, so cache pressure throttles the prefetcher
+// instead of sending it on fruitless (and costly) buffer hunts.
+func (e *Engine) prefetchAllowed() bool {
+	if e.bcache.AvailableFrames(cache.PrefetchClass) > 0 {
+		return true
+	}
+	e.res.Faults.Node.ThrottledPrefetches++
+	if e.obs != nil {
+		e.obs.Add(obs.CtrPrefetchThrottled, 1)
+	}
+	return false
+}
+
+// KillError returns the wrapped fault.ErrProcDead describing the
+// processor kill this run executed, or nil if no processor died.
+func (e *Engine) KillError() error { return e.killErr }
 
 // Run builds and executes one experiment.
 func Run(cfg Config) (*Result, error) {
@@ -225,6 +311,10 @@ func (e *Engine) procBody(p *sim.Proc, node int) {
 	passedGens := 0
 	myReads := 0
 	for {
+		if e.deadProc != nil && e.deadProc[node] {
+			e.abandon(p, node, ru, myReads)
+			return
+		}
 		if e.usesGenerations() {
 			for passedGens < e.gens.Raised() {
 				passedGens++
@@ -267,13 +357,75 @@ func (e *Engine) procBody(p *sim.Proc, node int) {
 		}
 	}
 	if e.bar != nil {
-		e.bar.Withdraw()
+		e.bar.Withdraw(node)
+	}
+	if e.orphansPosted != nil {
+		e.takeover(p, node, ru, &myReads)
 	}
 	e.res.PerProc[node].Reads = myReads
 	e.res.PerProc[node].Finish = p.Now()
 	if p.Now() > e.maxFinish {
 		e.maxFinish = p.Now()
 	}
+	e.finished[node] = true
+}
+
+// abandon is a killed processor's exit: it unpins what it holds, posts
+// its unread blocks for survivors to claim, records its stats, and
+// returns without withdrawing from the barrier — crash semantics. Its
+// barrier membership is recovered by the quorum watchdog (when armed)
+// rather than a clean withdrawal, so a kill under synchronization
+// without a barrier timeout deadlocks the survivors by design.
+func (e *Engine) abandon(p *sim.Proc, node int, ru *ruSet, myReads int) {
+	ru.drain(e.bcache)
+	var orphaned int
+	if e.pat.Kind.Local() {
+		c := e.localCursor[node]
+		orphaned = len(e.pat.Local[node]) - c
+		e.orphans = append(e.orphans, e.pat.Local[node][c:]...)
+		e.localCursor[node] = len(e.pat.Local[node])
+	}
+	e.killErr = fmt.Errorf("core: node %d abandoned %d unread block(s): %w",
+		node, orphaned, fault.ErrProcDead)
+	e.res.Faults.Node.DeadProcs++
+	e.res.PerProc[node].Reads = myReads
+	e.res.PerProc[node].Finish = p.Now()
+	if p.Now() > e.maxFinish {
+		e.maxFinish = p.Now()
+	}
+	e.orphansPosted.Fire()
+}
+
+// takeover is the survivors' side of a processor kill: once a
+// survivor's own workload is done (and it has withdrawn from the
+// barrier), it waits for the victim's unread blocks to be posted and
+// reads them, claiming one at a time from a shared FIFO so the load
+// spreads over however many survivors are free. Only local patterns
+// post orphans — a global pattern's unclaimed entries are drained by
+// the surviving self-scheduled readers with no special handling. The
+// designated victim, if it finished its whole workload before the kill
+// landed, posts an empty set so survivors do not wait forever.
+func (e *Engine) takeover(p *sim.Proc, node int, ru *ruSet, myReads *int) {
+	if kn, _, _ := e.ninj.Kills(); node == kn {
+		if !e.orphansPosted.Fired() {
+			e.orphansPosted.Fire()
+		}
+		return
+	}
+	if !e.orphansPosted.Fired() {
+		e.orphansPosted.Wait(p)
+	}
+	for len(e.orphans) > 0 {
+		block := e.orphans[0]
+		e.orphans = e.orphans[1:]
+		e.readBlock(p, node, ru, -1, block)
+		*myReads++
+		e.res.Faults.Node.TakeoverReads++
+		if e.obs != nil {
+			e.obs.Add(obs.CtrTakeoverReads, 1)
+		}
+	}
+	ru.drain(e.bcache)
 }
 
 // nextRead claims the next access: the process's own next string entry
@@ -316,7 +468,9 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 	// Toss-immediately: make room in the RU set before acquiring, so a
 	// processor never pins more than RUSetSize buffers.
 	ru.makeRoom(e.bcache)
-	if e.policy != nil {
+	if e.policy != nil && idx >= 0 {
+		// Takeover reads (idx -1) replay another node's blocks; they
+		// carry no reference-string position for the oracle to note.
 		e.policy.NoteDemand(node, idx)
 	}
 	if e.pred != nil {
@@ -398,7 +552,7 @@ func (e *Engine) readBlock(p *sim.Proc, node int, ru *ruSet, idx, block int) {
 func (e *Engine) syncArrive(p *sim.Proc, node int) {
 	arrival := p.Now()
 	e.trace(Event{T: arrival, Node: node, Kind: EvSyncArrive, Block: -1, Index: -1})
-	ev, last := e.bar.Arrive()
+	ev, last := e.bar.Arrive(node)
 	if !last {
 		e.waitEvent(p, node, -1, ev, sim.MaxTime, IdleSync)
 	}
@@ -526,11 +680,26 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 		e.actionIssued[node] = res == cache.PrefetchOK
 	}
 	others := e.track.Enter()
-	d := cost.At(others)
+	return e.price(node, cost, others), true
+}
+
+// price prices one memory action for the node under the node-fault
+// slowdowns (persistent straggler factor, transient stalls); without a
+// node injector it is exactly the cost model's contention price. Every
+// action consumes at least one microsecond even under a zero-cost
+// model, which guarantees the idle-time prefetch loop always advances
+// virtual time.
+func (e *Engine) price(node int, c memory.Cost, others int) sim.Duration {
+	var d sim.Duration
+	if e.ninj != nil {
+		d = e.ninj.ScaleAction(node, c, others)
+	} else {
+		d = c.At(others)
+	}
 	if d < sim.Microsecond {
 		d = sim.Microsecond
 	}
-	return d, true
+	return d
 }
 
 // finishAction completes the action begun by beginAction: the processor
@@ -562,10 +731,7 @@ func (e *Engine) finishAction(node int) {
 // would otherwise spin forever).
 func (e *Engine) fsWork(p *sim.Proc, node int, c memory.Cost) {
 	others := e.track.Enter()
-	d := c.At(others)
-	if d < sim.Microsecond {
-		d = sim.Microsecond
-	}
+	d := e.price(node, c, others)
 	start := p.Now()
 	p.Advance(d)
 	e.track.Exit()

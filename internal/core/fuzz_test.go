@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/interleave"
 	"repro/internal/pattern"
 	"repro/internal/predict"
@@ -74,6 +75,28 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 				cfg.Predictor = predict.GAPS
 			}
 		}
+		// Every fuzzed run is swept by the invariant auditor, and some
+		// draw node-fault dimensions that preserve the accounting
+		// invariants: stragglers, stalls, and capacity squeezes slow a
+		// run without changing which blocks are read. Processor kills
+		// reshape per-proc accounting and are corner-cased in
+		// TestFuzzSeeds instead.
+		cfg.AuditEvery = 5 * sim.Millisecond
+		if raw[0]%3 == 0 {
+			cfg.NodeFault.Seed = seed
+			cfg.NodeFault.StragglerFactor = 2 + float64(raw[2]%3)
+			cfg.NodeFault.StragglerNode = int(raw[3]) % procs
+		}
+		if raw[1]%4 == 0 {
+			cfg.NodeFault.Seed = seed
+			cfg.NodeFault.StallRate = 0.03
+		}
+		if cfg.Prefetch && raw[4]%4 == 0 {
+			cfg.NodeFault.Seed = seed
+			cfg.NodeFault.SqueezeAt = 40 * sim.Millisecond
+			cfg.NodeFault.SqueezeFrames = 1
+			cfg.NodeFault.Backpressure = raw[4]%8 == 0
+		}
 
 		r, err := Run(cfg)
 		if err != nil {
@@ -118,12 +141,30 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 		}
 		// Determinism: an identical configuration replays identically.
 		r2 := MustRun(cfg)
-		if r2.TotalTime != r.TotalTime || r2.Cache != r.Cache {
+		if r2.TotalTime != r.TotalTime || r2.Cache != r.Cache || r2.Faults != r.Faults {
 			t.Logf("%s: nondeterministic", cfg.Label())
 			return false
 		}
 		return true
 	}
+}
+
+// FuzzConfigSpace is the native fuzzing entry over the same invariant
+// checker the quick.Check fuzz drives: the engine's configuration
+// space including the completion-safe node-fault dimensions. CI smokes
+// it briefly (`go test ./internal/core -run=NONE -fuzz=FuzzConfigSpace
+// -fuzztime=30s`); run it longer locally to explore.
+func FuzzConfigSpace(f *testing.F) {
+	f.Add(uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 0})
+	f.Add(uint64(3), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint64(11), []byte{255, 254, 253, 252, 251, 250, 249, 248, 247, 246})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		var fixed [10]uint8
+		copy(fixed[:], raw)
+		if !fuzzCheck(t)(seed, fixed) {
+			t.Fatalf("engine invariant violated for seed %d raw %v (see log)", seed, fixed)
+		}
+	})
 }
 
 // TestFuzzSeeds replays a few fixed corner configurations that once
@@ -155,6 +196,19 @@ func TestFuzzSeeds(t *testing.T) {
 			c.DiskSeekPerBlock = 50 * sim.Microsecond
 			c.DiskMaxSeek = 10 * sim.Millisecond
 			c.Predictor = predict.GAPS
+		},
+		// A mid-run processor kill under quorum-released barriers: the
+		// watchdog and takeover must keep the run completing for every
+		// pattern kind.
+		func(c *Config) {
+			c.Sync = barrier.EveryNPerProc
+			c.SyncEveryPerProc = 5
+			c.NodeFault = fault.NodeConfig{
+				Seed:           3,
+				KillAt:         300 * sim.Millisecond,
+				KillNode:       1,
+				BarrierTimeout: 100 * sim.Millisecond,
+			}
 		},
 	}
 	for i, mutate := range cases {

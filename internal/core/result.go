@@ -11,7 +11,8 @@ import (
 )
 
 // FaultCounters aggregates the fault-injection view of one run. All
-// zero when fault injection is disabled.
+// zero when fault injection is disabled. The struct (including Node)
+// stays comparable with ==, which the determinism claims rely on.
 type FaultCounters struct {
 	// ReadRetries counts demand reads retried after a failed fill.
 	ReadRetries int64
@@ -22,6 +23,36 @@ type FaultCounters struct {
 	// AliveDisks is the number of disks still serving requests at
 	// completion (always Config.Disks on fault-free runs).
 	AliveDisks int
+	// Node aggregates the processor-level fault counters.
+	Node NodeFaultCounters
+}
+
+// NodeFaultCounters is the node-level (processor) fault view of one
+// run: what the node-fault layer injected and how the system absorbed
+// it. All zero (except AliveProcs) when node faults are disabled.
+type NodeFaultCounters struct {
+	// Stalls counts transient processor stalls injected.
+	Stalls int64
+	// DeadProcs counts processors killed mid-run.
+	DeadProcs int
+	// AliveProcs is Config.Procs minus DeadProcs, set on every run.
+	AliveProcs int
+	// TakeoverReads counts blocks a survivor read on behalf of a killed
+	// processor (local patterns; global patterns redistribute through
+	// self-scheduling and count nothing here).
+	TakeoverReads int
+	// QuorumReleases counts barrier generations the watchdog released
+	// without their full membership.
+	QuorumReleases int
+	// Excisions counts members the watchdog removed from the barrier
+	// (a member excised, rejoined, and excised again counts twice).
+	Excisions int
+	// FramesRetired counts cache frames permanently removed by the
+	// capacity squeeze.
+	FramesRetired int
+	// ThrottledPrefetches counts prefetch attempts the backpressure
+	// gate suppressed while the prefetch buffer class was exhausted.
+	ThrottledPrefetches int64
 }
 
 // ProcStats is the per-processor view of a run, used to study how evenly
@@ -153,6 +184,13 @@ func (r *Result) String() string {
 			f.Disk.Transient, f.Disk.Spikes, f.Disk.Stuck, f.Disk.Timeouts, f.Disk.DeadFailed)
 		fmt.Fprintf(&b, "  recovery        %10d retries, %d degraded placements, %d failed fills, disks alive %d/%d\n",
 			f.ReadRetries, f.DegradedReads, r.Cache.FailedFills, f.AliveDisks, r.Config.Disks)
+	}
+	if r.Config.NodeFault.Enabled() {
+		n := r.Faults.Node
+		fmt.Fprintf(&b, "  node faults     %10d stalls, %d dead, %d takeover reads, procs alive %d/%d\n",
+			n.Stalls, n.DeadProcs, n.TakeoverReads, n.AliveProcs, r.Config.Procs)
+		fmt.Fprintf(&b, "  quorum          %10d releases, %d excisions, %d frames retired, %d throttled prefetches\n",
+			n.QuorumReleases, n.Excisions, n.FramesRetired, n.ThrottledPrefetches)
 	}
 	fmt.Fprintf(&b, "  idle periods    %10s\n", r.idleLine())
 	return b.String()

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The node-fault claims must all hold at test scale, with the runtime
+// invariant auditor sweeping every run.
+func TestNodeFaultClaimsPass(t *testing.T) {
+	opts := TestScale()
+	opts.Audit = 20 * sim.Millisecond
+	v := VerifyNodeFaultClaims(opts)
+	if len(v.Claims) != 5 {
+		t.Fatalf("claims = %d, want 5", len(v.Claims))
+	}
+	for _, c := range v.Claims {
+		if !c.Pass {
+			t.Errorf("%s FAILED: %s — measured %s", c.ID, c.Paper, c.Measured)
+		}
+	}
+}
+
+// The node-fault claim report is identical for every worker count: the
+// pooled runs behind it are deterministic regardless of scheduling.
+func TestNodeFaultClaimsWorkerIndependent(t *testing.T) {
+	serial := TestScale()
+	serial.Workers = 1
+	pooled := TestScale()
+	pooled.Workers = 4
+	a := VerifyNodeFaultClaims(serial).Report()
+	b := VerifyNodeFaultClaims(pooled).Report()
+	if a != b {
+		t.Fatalf("claim reports diverge across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}
+
+// The invariant auditor is a pure observer: a suite run with sweeps
+// enabled renders the same results as the unaudited suite — and every
+// sweep across all its cells passes (a violation would panic).
+func TestAuditedSuiteIdentity(t *testing.T) {
+	small := Options{
+		Procs:            4,
+		TotalBlocks:      80,
+		BlocksPerProc:    20,
+		LeadLocalReads:   80,
+		SyncEveryPerProc: 5,
+		SyncTotalDivisor: 10,
+		Seed:             1,
+	}
+	plain := RunSuite(small).Table()
+	small.Audit = 10 * sim.Millisecond
+	audited := RunSuite(small).Table()
+	if plain != audited {
+		t.Fatalf("audited suite diverged from unaudited:\n--- plain\n%s\n--- audited\n%s", plain, audited)
+	}
+}
+
+// The straggler sweep's figures carry one point per factor in both
+// directions, and the raw results line up with the factor list.
+func TestRunNodeFaultSweepShape(t *testing.T) {
+	opts := TestScale()
+	factors := []float64{1, 4}
+	r := RunNodeFaultSweep(opts, factors)
+	if len(r.Base) != len(factors) || len(r.Pref) != len(factors) {
+		t.Fatalf("raw results %d/%d, want %d", len(r.Base), len(r.Pref), len(factors))
+	}
+	if n := len(r.TotalTime.Series); n != 2 {
+		t.Fatalf("TotalTime series = %d, want 2", n)
+	}
+	for _, s := range r.TotalTime.Series {
+		if len(s.Points) != len(factors) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(factors))
+		}
+	}
+	if n := len(r.Improvement.Series); n != 1 {
+		t.Fatalf("Improvement series = %d, want 1", n)
+	}
+	if r.Base[1].TotalTime <= r.Base[0].TotalTime {
+		t.Fatalf("factor-4 straggler did not slow the baseline: %v vs %v",
+			r.Base[1].TotalTime, r.Base[0].TotalTime)
+	}
+}

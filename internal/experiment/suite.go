@@ -50,6 +50,11 @@ type Options struct {
 	// so the sink must be shareable — use obs.CounterSink, not a span
 	// recorder.
 	Obs obs.Sink
+	// Audit, if positive, runs the runtime invariant auditor every Audit
+	// of virtual time in every cell (see core.Config.AuditEvery). The
+	// sweeps are pure observers, so audited results are identical to
+	// unaudited ones; tests enable it to vouch for internal consistency.
+	Audit sim.Duration
 }
 
 // runnerOpts maps the experiment options onto the execution engine.
@@ -109,6 +114,7 @@ func (o Options) Config(kind pattern.Kind, sync barrier.Style, ioBound, prefetch
 	}
 	cfg.Prefetch = prefetch
 	cfg.Obs = o.Obs
+	cfg.AuditEvery = o.Audit
 	return cfg
 }
 

@@ -1,0 +1,77 @@
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/disk"
+	"repro/internal/fault"
+)
+
+// Every fault sentinel in the tree, disk- and node-level. Production
+// code never hands these out bare — they are always wrapped with %w and
+// context — so consumers must match with errors.Is, never ==.
+var sentinels = []struct {
+	name string
+	err  error
+}{
+	{"disk.ErrTransient", disk.ErrTransient},
+	{"disk.ErrTimeout", disk.ErrTimeout},
+	{"disk.ErrDead", disk.ErrDead},
+	{"fault.ErrProcDead", fault.ErrProcDead},
+	{"fault.ErrBarrierTimeout", fault.ErrBarrierTimeout},
+}
+
+// Wrapped fault errors stay matchable by errors.Is against their own
+// sentinel and no other, through one and two layers of wrapping — the
+// shapes the engine actually produces ("disk 3: ...", "proc 0: ...").
+func TestErrorChains(t *testing.T) {
+	for _, s := range sentinels {
+		once := fmt.Errorf("disk 3: %w", s.err)
+		twice := fmt.Errorf("read block 17: %w", once)
+		for _, wrapped := range []error{once, twice} {
+			if !errors.Is(wrapped, s.err) {
+				t.Errorf("%s: errors.Is lost the sentinel through %q", s.name, wrapped)
+			}
+			for _, other := range sentinels {
+				if other.err != s.err && errors.Is(wrapped, other.err) {
+					t.Errorf("%s: wrapped error also matches %s", s.name, other.name)
+				}
+			}
+		}
+	}
+}
+
+// The sentinels are pairwise distinct — a regression guard against two
+// of them ever being aliased to the same error value.
+func TestSentinelsDistinct(t *testing.T) {
+	for i, a := range sentinels {
+		for _, b := range sentinels[i+1:] {
+			if errors.Is(a.err, b.err) {
+				t.Errorf("%s and %s are not distinct", a.name, b.name)
+			}
+		}
+	}
+}
+
+// An audit.Violation participates in the chain like any other wrapper:
+// errors.As recovers the typed violation (and its invariant name) and
+// errors.Is still reaches the underlying cause.
+func TestViolationInErrorChain(t *testing.T) {
+	cause := fmt.Errorf("excised member 2: %w", fault.ErrBarrierTimeout)
+	v := &audit.Violation{Invariant: "barrier-membership", Err: cause}
+	chain := fmt.Errorf("sweep failed: %w", v)
+
+	var got *audit.Violation
+	if !errors.As(chain, &got) {
+		t.Fatal("errors.As did not find the Violation in the chain")
+	}
+	if got.Invariant != "barrier-membership" {
+		t.Fatalf("recovered invariant %q", got.Invariant)
+	}
+	if !errors.Is(chain, fault.ErrBarrierTimeout) {
+		t.Fatal("errors.Is lost the sentinel beneath the Violation")
+	}
+}

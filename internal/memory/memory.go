@@ -41,6 +41,20 @@ func (c Cost) At(others int) sim.Duration {
 	return c.Base + sim.Duration(others)*c.PerActive
 }
 
+// Scaled returns the cost uniformly slowed by factor f: a straggling
+// node pays proportionally more for every memory reference, so both
+// the base cost and the contention term grow. Factors at or below 1
+// return the cost unchanged (node speedups are not modelled).
+func (c Cost) Scaled(f float64) Cost {
+	if f <= 1 {
+		return c
+	}
+	return Cost{
+		Base:      sim.Duration(float64(c.Base) * f),
+		PerActive: sim.Duration(float64(c.PerActive) * f),
+	}
+}
+
 // Model aggregates the costs of the file-system code paths exercised by
 // the testbed. The zero value charges nothing (useful for ablations that
 // isolate queueing effects); use Default for the calibrated testbed

@@ -223,12 +223,16 @@ const (
 	CtrCachePrefetchesIssued
 	CtrCachePrefetchesConsumed
 	CtrCacheFailedFills
-	CtrPrefetchWaits   // idle waits hosted by a prefetch scheduler
-	CtrPrefetchActions // prefetch actions begun
-	CtrBarrierGens     // barrier generations released
-	CtrFaultDraws      // fault decisions drawn by the injector
-	CtrFaultsInjected  // draws that injected an effect
-	CtrReadRetries     // demand reads retried after a failed fill
+	CtrPrefetchWaits     // idle waits hosted by a prefetch scheduler
+	CtrPrefetchActions   // prefetch actions begun
+	CtrBarrierGens       // barrier generations released
+	CtrFaultDraws        // fault decisions drawn by the injector
+	CtrFaultsInjected    // draws that injected an effect
+	CtrReadRetries       // demand reads retried after a failed fill
+	CtrNodeStalls        // transient processor stalls injected
+	CtrQuorumReleases    // barrier generations released by the watchdog
+	CtrPrefetchThrottled // prefetch idle waits throttled by backpressure
+	CtrTakeoverReads     // reads survivors performed for a dead processor
 
 	numCounters
 )
@@ -244,6 +248,8 @@ var counterNames = [numCounters]string{
 	"cache-prefetches-issued", "cache-prefetches-consumed",
 	"cache-failed-fills", "prefetch-waits", "prefetch-actions",
 	"barrier-gens", "fault-draws", "faults-injected", "read-retries",
+	"node-stalls", "quorum-releases", "prefetch-throttled",
+	"takeover-reads",
 }
 
 // String names the counter with a stable identifier used by the trace

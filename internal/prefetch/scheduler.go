@@ -29,6 +29,14 @@ type Scheduler struct {
 	// finish completes the action begun last (releases the contention
 	// tracker, records the action time).
 	finish func()
+	// gate, when set, is consulted before every action begins: false
+	// throttles the attempt, so the wait simply parks on the event
+	// instead of hunting for resources it cannot get. The engine
+	// installs one under prefetch backpressure — when the prefetch
+	// buffer class is exhausted, throttling turns the paper's overrun
+	// pathology into bounded degradation. Nil (the default) gates
+	// nothing.
+	gate func() bool
 
 	ev       *sim.Event
 	deadline sim.Time
@@ -47,6 +55,13 @@ func NewScheduler(k *sim.Kernel, p *sim.Proc, begin func(sim.Time) (sim.Duration
 	return &Scheduler{k: k, p: p, begin: begin, finish: finish}
 }
 
+// SetGate installs a backpressure gate consulted before every action
+// (see the gate field). A nil gate restores the ungated default.
+func (s *Scheduler) SetGate(gate func() bool) { s.gate = gate }
+
+// allowed reports whether the gate (if any) admits an action now.
+func (s *Scheduler) allowed() bool { return s.gate == nil || s.gate() }
+
 // Wait blocks the process until ev fires, filling the wait with
 // prefetch actions. deadline is the caller's estimate of when the idle
 // period ends (sim.MaxTime when unknown), passed through to begin. It
@@ -60,7 +75,7 @@ func (s *Scheduler) Wait(ev *sim.Event, deadline sim.Time) (ranAction bool) {
 	if s.obs != nil {
 		s.obs.Add(obs.CtrPrefetchWaits, 1)
 	}
-	if d, ok := s.begin(deadline); ok {
+	if d, ok := s.beginGated(deadline); ok {
 		s.ran = true
 		s.k.AfterWake(d, s)
 		s.p.Park(ev.Label())
@@ -69,6 +84,14 @@ func (s *Scheduler) Wait(ev *sim.Event, deadline sim.Time) (ranAction bool) {
 	}
 	s.ev = nil
 	return s.ran
+}
+
+// beginGated begins an action unless the backpressure gate refuses.
+func (s *Scheduler) beginGated(deadline sim.Time) (sim.Duration, bool) {
+	if !s.allowed() {
+		return 0, false
+	}
+	return s.begin(deadline)
 }
 
 // Wake is the action-completion continuation (sim.Waiter): it finishes
@@ -81,7 +104,7 @@ func (s *Scheduler) Wake() {
 		s.k.Resume(s.p)
 		return
 	}
-	if d, ok := s.begin(s.deadline); ok {
+	if d, ok := s.beginGated(s.deadline); ok {
 		s.k.AfterWake(d, s)
 		return
 	}

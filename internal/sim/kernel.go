@@ -293,6 +293,32 @@ func (k *Kernel) RunUntil(deadline Time) bool {
 	return k.heap.len() > 0
 }
 
+// PendingEvents returns how many events are currently queued. The
+// invariant auditor uses it to decide whether to re-arm its periodic
+// sweep: once nothing is pending, rescheduling would only keep the run
+// alive artificially (and mask the deadlock detector).
+func (k *Kernel) PendingEvents() int { return k.heap.len() }
+
+// Audit checks the kernel's internal invariants — the clock never sits
+// past the next due event, and the live-process count agrees with the
+// spawned processes that have not finished — returning a descriptive
+// error on the first violation. It never mutates state.
+func (k *Kernel) Audit() error {
+	live := 0
+	for _, p := range k.procs {
+		if !p.done {
+			live++
+		}
+	}
+	if live != k.active {
+		return fmt.Errorf("kernel: active count %d but %d live process(es)", k.active, live)
+	}
+	if k.heap.len() > 0 && k.heap.peekTime() < k.now {
+		return fmt.Errorf("kernel: next event due %v is before now %v", k.heap.peekTime(), k.now)
+	}
+	return nil
+}
+
 // deadlockMessage names every live blocked process and the condition it
 // waits on, so a stuck simulation points directly at the culprit.
 func (k *Kernel) deadlockMessage() string {

@@ -119,6 +119,11 @@ type (
 	// RetryPolicy is the capped-exponential virtual-time backoff
 	// schedule used to retry failed reads and write-backs.
 	RetryPolicy = fault.RetryPolicy
+	// NodeFaultConfig describes the node-level fault model (persistent
+	// stragglers, transient stalls, processor kill with work takeover,
+	// barrier quorum timeouts, cache capacity squeeze, prefetch
+	// backpressure). The zero value injects nothing.
+	NodeFaultConfig = fault.NodeConfig
 
 	// Figure is plot data for one reproduced figure.
 	Figure = metrics.Figure
@@ -283,6 +288,24 @@ func DefaultFaultRates() []float64 { return experiment.DefaultFaultRates() }
 // audit.
 func VerifyFaultClaims(opts SuiteOptions) *experiment.Verification {
 	return experiment.VerifyFaultClaims(opts)
+}
+
+// RunNodeFaultSweep measures the base gw cell with one persistent
+// straggler at a sweep of slowdown factors, with and without
+// prefetching — the node-level robustness extension study.
+func RunNodeFaultSweep(opts SuiteOptions, factors []float64) *experiment.NodeFaultSweepResult {
+	return experiment.RunNodeFaultSweep(opts, factors)
+}
+
+// DefaultStragglerFactors is the standard straggler sweep (1× to 8×).
+func DefaultStragglerFactors() []float64 { return experiment.DefaultStragglerFactors() }
+
+// VerifyNodeFaultClaims machine-checks the node-level fault tolerance
+// claims (chaos determinism, zero-config identity, barrier quorum
+// release beating deadlock, straggler cost monotonicity, and prefetch
+// masking of slow nodes), separately from the disk-fault audit.
+func VerifyNodeFaultClaims(opts SuiteOptions) *experiment.Verification {
+	return experiment.VerifyNodeFaultClaims(opts)
 }
 
 // RunHybridStudy measures a hybrid workload (half lfp, half lw) against
