@@ -113,6 +113,17 @@ type Config struct {
 	// observability kernel-event counts differ).
 	AuditEvery sim.Duration
 
+	// SimWorkers, when above one, runs the simulation on the parallel
+	// discrete-event kernel: each disk becomes its own logical
+	// partition whose queue scheduling and fault draws execute on a
+	// worker pool, synchronized conservatively by the disks' minimum
+	// service time (see internal/sim and internal/disk/parallel.go).
+	// Zero or one selects the serial kernel. The worker count is an
+	// execution strategy, not an experiment parameter — every Result
+	// field is identical at any value — so it is excluded from JSON
+	// encodings of the Config.
+	SimWorkers int `json:"-"`
+
 	// Seed drives computation-delay randomness (and, via Pattern.Seed,
 	// random portion geometry).
 	Seed uint64
@@ -226,6 +237,9 @@ func (c *Config) Validate() error {
 	}
 	if c.AuditEvery < 0 {
 		return fmt.Errorf("core: negative AuditEvery %v", c.AuditEvery)
+	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("core: negative SimWorkers %d", c.SimWorkers)
 	}
 	return nil
 }

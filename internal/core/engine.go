@@ -174,6 +174,15 @@ func New(cfg Config) (*Engine, error) {
 			e.ninj.SetObserver(cfg.Obs)
 		}
 	}
+	// Parallel kernel: partition the disks last, after fault and
+	// observer wiring, so each partition captures its final
+	// configuration. Processors stay on the kernel goroutine — they
+	// share the cache, the memory model, and the self-scheduling
+	// cursor at microsecond grain, which leaves no usable lookahead.
+	if cfg.SimWorkers > 1 {
+		k.SetWorkers(cfg.SimWorkers)
+		e.disks.Partition(k)
+	}
 	return e, nil
 }
 

@@ -61,6 +61,10 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 		cfg.PerNodePrefetchLimit = raw[8]%2 == 1
 		cfg.Layout = interleave.Strategies[int(raw[9])%len(interleave.Strategies)]
 		cfg.DiskSched = disk.SchedPolicies[int(raw[9]/4)%len(disk.SchedPolicies)]
+		// The kernel's worker count rides the high nibble of a byte whose
+		// low bits drive the sync cadence, so the fuzz explores serial
+		// and parallel kernels across the whole configuration space.
+		cfg.SimWorkers = 1 + int(raw[5]>>4)%4
 		if raw[9]%2 == 1 {
 			cfg.DiskSeekPerBlock = 50 * sim.Microsecond
 			cfg.DiskMaxSeek = 10 * sim.Millisecond
@@ -139,10 +143,18 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 			t.Logf("%s: degenerate timings", cfg.Label())
 			return false
 		}
-		// Determinism: an identical configuration replays identically.
-		r2 := MustRun(cfg)
+		// Determinism and worker invariance: the same configuration
+		// replays identically on a kernel with a different worker
+		// count, so every fuzzed configuration cross-checks the
+		// parallel kernel against the serial one (or vice versa).
+		cfg2 := cfg
+		cfg2.SimWorkers = 1
+		if cfg.SimWorkers <= 1 {
+			cfg2.SimWorkers = 4
+		}
+		r2 := MustRun(cfg2)
 		if r2.TotalTime != r.TotalTime || r2.Cache != r.Cache || r2.Faults != r.Faults {
-			t.Logf("%s: nondeterministic", cfg.Label())
+			t.Logf("%s: diverged between %d and %d sim workers", cfg.Label(), cfg.SimWorkers, cfg2.SimWorkers)
 			return false
 		}
 		return true

@@ -160,6 +160,14 @@ type Disk struct {
 	fstats FaultStats
 
 	obs obs.Sink // nil = no observability (the common case)
+
+	// Parallel-mode state (nil/zero on a serial kernel — see
+	// parallel.go for the ownership split).
+	lp      *sim.LP
+	m       mirror
+	promise sim.Promise
+	grant   grantCmd
+	clear   clearCmd
 }
 
 // SetObserver installs an observability sink: request counters at
@@ -223,6 +231,9 @@ func (d *Disk) Submit(block, phys int, prefetch bool) *Request {
 	if d.dead {
 		return d.submitDead(block, phys, prefetch)
 	}
+	if d.lp != nil {
+		return d.submitPar(block, phys, prefetch)
+	}
 	now := d.k.Now()
 	req := &Request{
 		Disk:     d.id,
@@ -271,13 +282,23 @@ func (d *Disk) dispatch() {
 		d.current = nil
 		return
 	}
-	i := d.pickNext()
-	req := d.pending[i]
+	req, _ := d.serveNext(d.k.Now())
+	d.k.ScheduleWake(req.Done, req)
+}
+
+// serveNext picks, times, and (when an injector is attached) faults
+// the next pending request, moving it into service at instant now. It
+// reports whether the fault draw injected any effect. Shared by the
+// serial dispatch and the parallel grant path (where it runs on the
+// disk's LP executor and now is the grant instant, not the kernel
+// clock). Must only be called with a non-empty queue.
+func (d *Disk) serveNext(now sim.Time) (req *Request, injected bool) {
+	i := d.pickNext(now)
+	req = d.pending[i]
 	d.pending = append(d.pending[:i], d.pending[i+1:]...)
-	now := d.k.Now()
 	service := d.profile.ServiceTime(d.headPos, req.Physical)
 	if d.inj != nil {
-		service = d.applyFaults(req, service)
+		service, injected = d.applyFaults(req, service)
 	}
 	if d.policy == SCAN && d.headPos >= 0 {
 		d.scanUp = req.Physical >= d.headPos
@@ -287,7 +308,7 @@ func (d *Disk) dispatch() {
 	req.Done = now.Add(service)
 	d.busy += service
 	d.current = req
-	d.k.ScheduleWake(req.Done, req)
+	return req, injected
 }
 
 func (d *Disk) complete(req *Request) {
@@ -316,6 +337,10 @@ func (d *Disk) complete(req *Request) {
 		})
 	}
 	req.Complete.Fire()
+	if d.lp != nil {
+		d.completeParTail()
+		return
+	}
 	d.dispatch()
 }
 
@@ -328,12 +353,14 @@ func (d *Disk) complete(req *Request) {
 // request once it has waited this long.
 const starvationBound = 32
 
-// pickNext chooses the pending index to serve next.
-func (d *Disk) pickNext() int {
+// pickNext chooses the pending index to serve next. now is the
+// dispatch instant, passed in rather than read from the kernel clock
+// so the choice can run on the disk's LP executor.
+func (d *Disk) pickNext(now sim.Time) int {
 	if d.policy == FIFO || d.headPos < 0 || len(d.pending) == 1 {
 		return 0
 	}
-	if d.k.Now().Sub(d.pending[0].Enqueued) > sim.Duration(starvationBound)*d.profile.Access {
+	if now.Sub(d.pending[0].Enqueued) > sim.Duration(starvationBound)*d.profile.Access {
 		return 0
 	}
 	switch d.policy {

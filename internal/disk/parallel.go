@@ -1,0 +1,206 @@
+// Parallel-kernel support: each disk can run as its own logical
+// partition (sim.LP), so queue scheduling, seek arithmetic, and fault
+// draws execute on an LP executor thread while the kernel goroutine
+// keeps simulating the processors.
+//
+// The state of a partitioned disk splits in two:
+//
+//   - LP-owned (touched only by posted commands, or by the kernel
+//     goroutine after a Fence): pending, current, headPos, scanUp,
+//     busy, fstats, and the injector's per-disk stream.
+//   - Host-owned (kernel goroutine only): resp, qdelay, qdepth,
+//     served, pfCount, dead, obs emission, and the mirror below.
+//
+// The host-side mirror tracks exactly what Submit needs synchronously
+// — the queued count, whether the disk is busy, and the in-service
+// request's completion time — so EstDone and the queue-depth sample
+// are byte-identical to the serial path. The mirror stays exact
+// because the host itself decides every service grant: a disk starts a
+// transfer only when the host posts a grantCmd, reserving the event's
+// sequence number at the same program point the serial code would
+// have consumed it (see sim.Promise). The partition's conservative
+// lookahead is the minimum possible service time: the fixed access
+// time, or the fault watchdog's timeout when that is shorter — seeks,
+// spikes, and stuck requests only ever lengthen service.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// mirror is the host-side view of a partitioned disk's service state.
+type mirror struct {
+	pendingCount int      // queued requests not yet in service
+	busy         bool     // a request is in service
+	currentDone  sim.Time // its exact completion time, once resolved
+	outstanding  bool     // a grant is posted and not yet resolved
+}
+
+// Partition assigns every disk its own logical partition on k. Call
+// after SetFaults/SetObserver wiring, before the run; a no-op on a
+// serial kernel.
+func (a *Array) Partition(k *sim.Kernel) {
+	if k.Workers() <= 1 {
+		return
+	}
+	for _, d := range a.disks {
+		d.partition(k)
+	}
+}
+
+func (d *Disk) partition(k *sim.Kernel) {
+	d.lp = k.NewLP(fmt.Sprintf("disk%d", d.id))
+	d.grant.d = d
+	d.clear.d = d
+}
+
+// Do implements sim.Cmd: the request record itself is the submit
+// command (append to the LP-owned queue), so posting allocates
+// nothing beyond the request the serial path also allocates.
+func (r *Request) Do() { r.owner.pending = append(r.owner.pending, r) }
+
+// grantCmd starts service on the next pending request at the grant
+// instant. One per disk, reused: at most one grant is ever in flight,
+// because the next is posted only after this one's resolution has
+// been consumed.
+type grantCmd struct {
+	d  *Disk
+	at sim.Time
+}
+
+// Do implements sim.Cmd (LP executor context).
+func (g *grantCmd) Do() {
+	d := g.d
+	req, injected := d.serveNext(g.at)
+	note := int64(0)
+	if injected {
+		note = 1
+	}
+	d.promise.Note = note
+	d.promise.Fulfill(req.Done, req)
+}
+
+// clearCmd mirrors the serial dispatch-on-empty: the completed request
+// leaves service with nothing to replace it. One per disk, reused (a
+// second clear can only be posted after an intervening grant has been
+// consumed from the mailbox).
+type clearCmd struct{ d *Disk }
+
+// Do implements sim.Cmd (LP executor context).
+func (c *clearCmd) Do() { c.d.current = nil }
+
+// submitPar is Submit on a partitioned disk: all bookkeeping the file
+// system observes synchronously (EstDone, queue depth, counters) is
+// computed host-side from the mirror, and the queue append travels to
+// the LP as a command.
+func (d *Disk) submitPar(block, phys int, prefetch bool) *Request {
+	now := d.k.Now()
+	req := &Request{
+		Disk:     d.id,
+		Block:    block,
+		Physical: phys,
+		Prefetch: prefetch,
+		Enqueued: now,
+		owner:    d,
+	}
+	req.Complete.Init(d.k, "disk I/O completion")
+	// The completion estimate needs the in-service request's exact
+	// finish time. If the grant that started it has not resolved yet,
+	// wait for the resolution — a wall-clock wait only; virtual time
+	// is unaffected, and the value obtained is exactly what the serial
+	// path would have computed inline.
+	for d.m.outstanding {
+		d.k.AwaitResolution()
+	}
+	queued := d.m.pendingCount
+	base := now
+	if d.m.busy {
+		base = d.m.currentDone
+	}
+	req.EstDone = base.Add(sim.Duration(queued+1) * d.profile.Access)
+	depth := queued
+	if d.m.busy {
+		depth++
+	}
+	d.qdepth.Add(float64(depth))
+	d.served++
+	if prefetch {
+		d.pfCount++
+	}
+	if d.obs != nil {
+		d.obs.Add(obs.CtrDiskRequests, 1)
+		if prefetch {
+			d.obs.Add(obs.CtrDiskPrefetchRequests, 1)
+		}
+	}
+	d.lp.Post(req)
+	if d.m.busy {
+		d.m.pendingCount++
+	} else {
+		d.postGrant(now)
+	}
+	return req
+}
+
+// completeParTail is the partitioned disk's replacement for the
+// dispatch call at the end of complete: grant the next transfer, or
+// record the disk idle and tell the LP to clear its in-service slot.
+// Kernel context, at the completed request's Done instant.
+func (d *Disk) completeParTail() {
+	if d.m.pendingCount > 0 {
+		d.m.pendingCount--
+		d.postGrant(d.k.Now())
+	} else {
+		d.m.busy = false
+		d.lp.Post(&d.clear)
+	}
+}
+
+// postGrant reserves the completion's sequence number and hands the
+// dispatch decision to the disk's partition. The promise bound is the
+// grant instant plus the disk's conservative lookahead.
+func (d *Disk) postGrant(at sim.Time) {
+	d.k.Reserve(&d.promise, d.lp, d.lookahead(), "a disk I/O grant", d)
+	d.m.busy = true
+	d.m.outstanding = true
+	d.grant.at = at
+	d.lp.Post(&d.grant)
+}
+
+// lookahead returns the minimum possible service time of the next
+// transfer: the base access time, or the fault watchdog's timeout when
+// that is shorter (a timed-out request frees the disk at the timeout
+// instant). Spikes multiply by >= 1 and add >= 0, stuck requests only
+// extend, and seeks only add, so nothing can complete sooner.
+func (d *Disk) lookahead() sim.Duration {
+	look := d.profile.Access
+	if d.inj != nil {
+		if t := d.inj.Timeout(); t > 0 && t < look {
+			look = t
+		}
+	}
+	return look
+}
+
+// Resolved implements sim.Resolver: the grant's reply reaches the
+// host-side mirror, and the fault draw's observability — which the LP
+// executor must not emit itself — is replayed on the kernel goroutine.
+func (d *Disk) Resolved(p *sim.Promise) {
+	d.m.currentDone = p.At()
+	d.m.outstanding = false
+	if d.inj != nil {
+		d.inj.ObserveDraw(p.Note != 0)
+	}
+}
+
+// fenceForRead hands the partition's state to the kernel goroutine for
+// direct inspection (audits, end-of-run statistics). No-op on a
+// serial disk.
+func (d *Disk) fenceForRead() {
+	if d.lp != nil {
+		d.lp.Fence()
+	}
+}

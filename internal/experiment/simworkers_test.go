@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSimWorkersGoldenPinned is the tentpole acceptance harness for
+// the parallel discrete-event kernel: running the entire TestScale
+// evaluation — the factorial suite, a computation sweep, and the full
+// 23-claim audit — on the parallel kernel at 2, 4, and 8 simulation
+// workers must render output byte-identical to the same checked-in
+// golden file the serial kernel is pinned against. Not "statistically
+// close": the same virtual end times, the same summary statistics to
+// every printed digit, the same claim verdicts. A lookahead bug, a
+// mis-ordered cross-partition event, or a stray off-thread random
+// draw all surface here as a byte diff against history.
+func TestSimWorkersGoldenPinned(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("sim-workers golden harness skipped in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "equivalence_golden.txt"))
+	if err != nil {
+		t.Fatalf("golden file missing (run TestGoldenOutputPinned -update to create): %v", err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		t.Run(map[int]string{2: "workers2", 4: "workers4", 8: "workers8"}[w], func(t *testing.T) {
+			t.Parallel()
+			got := renderEverything(1, w)
+			if got == string(want) {
+				return
+			}
+			gLines := strings.Split(got, "\n")
+			wLines := strings.Split(string(want), "\n")
+			n := len(gLines)
+			if len(wLines) < n {
+				n = len(wLines)
+			}
+			for i := 0; i < n; i++ {
+				if gLines[i] != wLines[i] {
+					t.Fatalf("sim-workers=%d diverges from pinned golden at line %d:\ngolden:  %q\ncurrent: %q",
+						w, i+1, wLines[i], gLines[i])
+				}
+			}
+			t.Fatalf("sim-workers=%d output length differs: golden %d lines, current %d lines",
+				w, len(wLines), len(gLines))
+		})
+	}
+}
+
+// TestSimWorkersFaultClaims checks the fault (F1–F5) and node-fault
+// (N1–N5) claim audits — retries, degraded mode, stragglers, kills,
+// quorum releases — produce identical verdicts and identical reports
+// on the parallel kernel. These exercises drive the disk partitions
+// through their hardest paths: timeouts shortening the lookahead,
+// mid-run disk and processor kills fencing partitions, and the
+// invariant auditor inspecting partition state mid-run.
+func TestSimWorkersFaultClaims(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("fault-claim sim-workers harness skipped in -short mode")
+	}
+	render := func(simWorkers int) string {
+		opts := TestScale()
+		opts.SimWorkers = simWorkers
+		return VerifyFaultClaims(opts).Report() + "\n" + VerifyNodeFaultClaims(opts).Report()
+	}
+	want := render(1)
+	if !strings.Contains(want, "F1") || !strings.Contains(want, "N1") {
+		t.Fatalf("fault-claim report looks wrong:\n%s", want)
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := render(w); got != want {
+			t.Fatalf("sim-workers=%d fault claims diverged:\n--- got ---\n%s\n--- want ---\n%s", w, got, want)
+		}
+	}
+}

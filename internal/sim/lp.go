@@ -1,0 +1,465 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// This file is the kernel's parallel discrete-event machinery: logical
+// partitions (LPs) served by executor goroutines, and conservative
+// promises whose lookahead bounds let the kernel keep executing while
+// an LP computes off-thread.
+//
+// The design keeps every run byte-identical to the serial kernel at
+// any worker count by construction:
+//
+//   - The kernel goroutine (the "host") remains the only thread that
+//     assigns event sequence numbers, advances the clock, and fires
+//     events. Tie-breaks among simultaneous events are therefore
+//     decided exactly as in the serial kernel.
+//   - Where serial code would compute an event's time inline (say, a
+//     disk picking and timing its next transfer), the host instead
+//     Reserves a Promise — capturing the sequence number at the same
+//     program point the serial code would have consumed it — and posts
+//     a command to the owning LP. The LP computes the time off-thread
+//     and Fulfills the promise; the host inserts the event under the
+//     reserved sequence number, so it sorts exactly where the serial
+//     kernel would have put it.
+//   - Conservatism: a reserved promise carries a lower bound on its
+//     eventual time (now + the partition's lookahead — for a disk, the
+//     minimum possible service time). The host never executes an event
+//     at or past the earliest outstanding bound, so a resolution can
+//     never arrive in the executed past.
+//
+// With Workers <= 1 none of this machinery is allocated and the only
+// cost is one integer comparison per kernel-loop iteration.
+
+// Cmd is a unit of work posted to a logical partition. Hot paths
+// implement Do on records that already exist (a disk request), so
+// posting a command allocates nothing.
+type Cmd interface{ Do() }
+
+// LP is a logical partition of the simulation: a named FIFO mailbox of
+// commands executed by the executor goroutine that owns the partition.
+// Partition-owned state may be touched only by posted commands (or by
+// the kernel goroutine after a Fence). On a serial kernel (Workers <=
+// 1) commands run inline at the Post call, making the LP a no-op
+// indirection.
+type LP struct {
+	k       *Kernel
+	name    string
+	execIdx int // owning executor; -1 = inline
+}
+
+// Name returns the partition's diagnostic name.
+func (lp *LP) Name() string { return lp.name }
+
+// NewLP creates a logical partition. Partitions are assigned to the
+// kernel's Workers-1 executor goroutines round-robin in creation
+// order; call SetWorkers first.
+func (k *Kernel) NewLP(name string) *LP {
+	lp := &LP{k: k, name: name, execIdx: -1}
+	if k.workers > 1 {
+		lp.execIdx = len(k.lps) % (k.workers - 1)
+	}
+	k.lps = append(k.lps, lp)
+	return lp
+}
+
+// Post hands a command to the partition. Commands from one poster are
+// executed in post order; the kernel goroutine is the only poster, so
+// the order is total. Inline partitions execute the command before
+// Post returns.
+func (lp *LP) Post(c Cmd) {
+	if lp.execIdx < 0 {
+		c.Do()
+		return
+	}
+	k := lp.k
+	if !k.execsLive {
+		k.startExecutors()
+	}
+	x := k.execs[lp.execIdx]
+	x.queued.Add(1)
+	x.mbox <- c
+}
+
+// Fence blocks until every command posted to the partition so far has
+// executed. Afterwards — and until the next Post — the kernel
+// goroutine may read and write partition-owned state directly: the
+// mailbox round trip establishes the ownership transfer both ways.
+// On an inline partition (or once the executors have stopped, which
+// fences everything) it is a no-op.
+func (lp *LP) Fence() {
+	if lp.execIdx < 0 || !lp.k.execsLive {
+		return
+	}
+	lp.k.execs[lp.execIdx].fence()
+}
+
+// Resolver consumes a promise resolution on the kernel goroutine, at
+// the moment the kernel inserts the resolved event into its heap. A
+// disk uses it to learn the exact completion time of the transfer its
+// LP just timed.
+type Resolver interface{ Resolved(p *Promise) }
+
+// Promise is a reservation for one future event whose exact time an LP
+// is computing off-thread. Reserve captures the event's sequence
+// number and a conservative lower bound on its time; Fulfill (called
+// from the LP's executor) supplies the exact time and the event's
+// Waiter. A Promise is reusable once resolved — embed one per
+// single-outstanding-grant producer and pay no allocation.
+type Promise struct {
+	k     *Kernel
+	lp    *LP
+	label string
+	r     Resolver
+	seq   uint64
+	bound Time
+	idx   int // position in k.promises while outstanding
+
+	// Written by the LP thread in Fulfill, read by the kernel
+	// goroutine after the resolution queue's mutex orders the two.
+	at Time
+	w  Waiter
+	// Note is an opaque payload the LP attaches for the Resolver
+	// (e.g. whether a fault draw injected anything), letting the host
+	// replay side effects that must not run on the LP thread.
+	Note int64
+}
+
+// At returns the resolved time. Valid only inside Resolved.
+func (p *Promise) At() Time { return p.at }
+
+// Label returns the promise's diagnostic label.
+func (p *Promise) Label() string {
+	if p.label == "" {
+		return "a promised event"
+	}
+	return p.label
+}
+
+// Reserve registers p as outstanding: the kernel consumes the next
+// sequence number for it (at exactly this program point, which is what
+// keeps parallel runs byte-identical to serial ones) and will not
+// execute any event at or beyond now+minDelay until p resolves. The
+// caller must ensure a command that Fulfills p is posted to lp before
+// the kernel next runs out of earlier events.
+func (k *Kernel) Reserve(p *Promise, lp *LP, minDelay Duration, label string, r Resolver) {
+	k.seq++
+	p.k, p.lp, p.label, p.r = k, lp, label, r
+	p.seq = k.seq
+	p.bound = k.now.Add(k.checkDelay(minDelay))
+	p.idx = len(k.promises)
+	k.promises = append(k.promises, p)
+	k.outstanding++
+	if p.bound < k.hzMin {
+		k.hzMin = p.bound
+	}
+}
+
+// Fulfill resolves the promise: the event happens at `at` (which must
+// not precede the reserved lower bound) and wakes w. It is the one
+// sim entry point that is legal from an LP executor thread. On an
+// inline partition the resolution is consumed immediately.
+func (p *Promise) Fulfill(at Time, w Waiter) {
+	p.at, p.w = at, w
+	if p.lp != nil && p.lp.execIdx < 0 {
+		p.k.consume(p)
+		return
+	}
+	k := p.k
+	k.resMu.Lock()
+	k.resQ = append(k.resQ, p)
+	k.resMu.Unlock()
+	select {
+	case k.resSig <- struct{}{}:
+	default:
+	}
+}
+
+// consume removes a resolved promise from the outstanding set and
+// inserts its event under the reserved sequence number. Kernel
+// goroutine only.
+func (k *Kernel) consume(p *Promise) {
+	last := len(k.promises) - 1
+	if p.idx != last {
+		moved := k.promises[last]
+		k.promises[p.idx] = moved
+		moved.idx = p.idx
+	}
+	k.promises[last] = nil
+	k.promises = k.promises[:last]
+	k.outstanding--
+	if p.bound <= k.hzMin {
+		k.hzMin = MaxTime
+		for _, q := range k.promises {
+			if q.bound < k.hzMin {
+				k.hzMin = q.bound
+			}
+		}
+	}
+	if p.at < p.bound {
+		panic(fmt.Sprintf("sim: promise %s resolved at %v, before its bound %v", p.Label(), p.at, p.bound))
+	}
+	k.checkFuture(p.at)
+	k.heap.push(event{at: p.at, seq: p.seq, kind: evWake, w: p.w})
+	if p.r != nil {
+		p.r.Resolved(p)
+	}
+}
+
+// tryDrainResolutions consumes every resolution currently queued,
+// without blocking.
+func (k *Kernel) tryDrainResolutions() {
+	k.resMu.Lock()
+	if len(k.resQ) == 0 {
+		k.resMu.Unlock()
+		return
+	}
+	batch := k.resQ
+	k.resQ = k.resSpare[:0]
+	k.resMu.Unlock()
+	for _, p := range batch {
+		k.consume(p)
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	k.resSpare = batch
+}
+
+// AwaitResolution blocks the kernel until at least one outstanding
+// promise resolves, consuming everything that has arrived. Callers
+// that need a specific mirror value (a disk needing the in-service
+// request's exact completion time) loop until their promise clears.
+// It panics with a cross-LP deadlock report if no resolution can ever
+// arrive.
+func (k *Kernel) AwaitResolution() {
+	if k.outstanding == 0 {
+		panic("sim: AwaitResolution with no outstanding promises")
+	}
+	k.awaitResolution()
+}
+
+func (k *Kernel) awaitResolution() {
+	for {
+		k.checkLPFailure()
+		before := k.outstanding
+		k.tryDrainResolutions()
+		if k.outstanding < before {
+			return
+		}
+		// Nothing arrived. An executor decrements its queue count only
+		// after the command (and any Fulfill inside it) completes, so if
+		// every mailbox has drained and the queue is still empty, the
+		// outstanding promises can never resolve.
+		idle := true
+		for _, x := range k.execs {
+			if x.queued.Load() != 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			k.tryDrainResolutions()
+			if k.outstanding < before {
+				return
+			}
+			panic(k.crossLPDeadlockMessage())
+		}
+		select {
+		case <-k.resSig:
+		case <-k.failCh:
+			panic(k.failVal)
+		}
+	}
+}
+
+// checkLPFailure re-raises, on the kernel goroutine, a panic that
+// escaped a command on an executor.
+func (k *Kernel) checkLPFailure() {
+	if k.failCh == nil {
+		return
+	}
+	select {
+	case <-k.failCh:
+		panic(k.failVal)
+	default:
+	}
+}
+
+// lpFail records the first panic from an executor command; the kernel
+// goroutine re-raises it at its next synchronization point.
+func (k *Kernel) lpFail(r any) {
+	k.failOnce.Do(func() {
+		k.failVal = r
+		close(k.failCh)
+	})
+}
+
+// crossLPDeadlockMessage names every unresolved promise and the LP it
+// was posted to, so a stuck cross-LP channel points directly at the
+// culprit partition.
+func (k *Kernel) crossLPDeadlockMessage() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: cross-LP deadlock — the kernel is waiting on %d unresolved promise(s) but every LP executor is idle:", k.outstanding)
+	const maxNamed = 8
+	for i, p := range k.promises {
+		if i == maxNamed {
+			fmt.Fprintf(&b, ", … and %d more", k.outstanding-maxNamed)
+			break
+		}
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		lpName := "an inline LP"
+		if p.lp != nil {
+			lpName = p.lp.name
+		}
+		fmt.Fprintf(&b, "%s %s from LP %s (due no earlier than %v)", sep, p.Label(), lpName, p.bound)
+	}
+	return b.String()
+}
+
+// execMboxCap bounds an executor's mailbox. The kernel goroutine
+// blocks when it outruns an executor by this much; executors never
+// block on anything the kernel holds, so the backpressure cannot
+// deadlock.
+const execMboxCap = 256
+
+// executor is one worker goroutine serving the mailboxes of its
+// assigned partitions (merged into a single channel — the kernel is
+// the only poster, so per-partition FIFO order is preserved).
+type executor struct {
+	k      *Kernel
+	mbox   chan Cmd
+	done   chan struct{}
+	queued atomic.Int64 // commands posted and not yet fully executed
+	fcmd   fenceCmd
+	ack    chan struct{}
+}
+
+// fenceCmd is the executor's reusable fence marker: executing it hands
+// an acknowledgement back to the kernel goroutine.
+type fenceCmd struct{ x *executor }
+
+// Do implements Cmd.
+func (f *fenceCmd) Do() { f.x.ack <- struct{}{} }
+
+func (x *executor) fence() {
+	x.queued.Add(1)
+	x.mbox <- &x.fcmd
+	select {
+	case <-x.ack:
+	case <-x.k.failCh:
+		panic(x.k.failVal)
+	}
+}
+
+func (x *executor) run() {
+	defer close(x.done)
+	dead := false
+	for c := range x.mbox {
+		if !dead {
+			dead = x.runCmd(c)
+		}
+		x.queued.Add(-1)
+	}
+}
+
+// runCmd executes one command, converting a panic into a recorded
+// failure the kernel re-raises on its own goroutine (a raw panic on an
+// executor would kill the process without reaching the test harness).
+// A failed executor keeps draining its mailbox without executing, so
+// the kernel never blocks on a full mailbox while shutting down.
+func (x *executor) runCmd(c Cmd) (failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			failed = true
+			x.k.lpFail(r)
+		}
+	}()
+	c.Do()
+	return false
+}
+
+// SetWorkers declares how many workers the kernel may use: 1 is the
+// classic serial event loop, N > 1 adds N-1 executor goroutines
+// serving the logical partitions created afterwards with NewLP.
+// Results are byte-identical for every value. Call before creating
+// partitions and before Run.
+func (k *Kernel) SetWorkers(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: worker count %d < 1", n))
+	}
+	if k.running {
+		panic("sim: SetWorkers during Run")
+	}
+	if len(k.lps) > 0 {
+		panic("sim: SetWorkers after NewLP")
+	}
+	k.workers = n
+	if n > 1 && k.resSig == nil {
+		k.resSig = make(chan struct{}, 1)
+		k.failCh = make(chan struct{})
+		k.hzMin = MaxTime
+	}
+}
+
+// Workers returns the declared worker count (1 when unset).
+func (k *Kernel) Workers() int {
+	if k.workers < 1 {
+		return 1
+	}
+	return k.workers
+}
+
+// startExecutors launches the worker goroutines. Idempotent; no-op on
+// a serial kernel or one with no partitions.
+func (k *Kernel) startExecutors() {
+	if k.workers <= 1 || len(k.lps) == 0 || k.execsLive {
+		return
+	}
+	if k.execs == nil {
+		k.execs = make([]*executor, k.workers-1)
+		for i := range k.execs {
+			x := &executor{k: k, ack: make(chan struct{})}
+			x.fcmd.x = x
+			k.execs[i] = x
+		}
+	}
+	for _, x := range k.execs {
+		x.mbox = make(chan Cmd, execMboxCap)
+		x.done = make(chan struct{})
+		go x.run()
+	}
+	k.execsLive = true
+}
+
+// stopExecutors fences every partition, consumes every resolution, and
+// joins the worker goroutines. Afterwards the kernel goroutine owns
+// all partition state (end-of-run statistics collection reads it
+// directly), and a later Run/RunUntil restarts the executors.
+func (k *Kernel) stopExecutors() {
+	if !k.execsLive {
+		return
+	}
+	for _, x := range k.execs {
+		x.fence()
+	}
+	k.tryDrainResolutions()
+	if k.outstanding > 0 {
+		panic(k.crossLPDeadlockMessage())
+	}
+	for _, x := range k.execs {
+		close(x.mbox)
+	}
+	for _, x := range k.execs {
+		<-x.done
+	}
+	k.execsLive = false
+	k.checkLPFailure()
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// cmdFunc adapts a closure to Cmd for tests.
+type cmdFunc func()
+
+func (f cmdFunc) Do() { f() }
+
+// fakeServer models an LP-owned producer: each grant computes a
+// completion time off-thread and fulfills a promise with it. It is a
+// miniature of the disk's parallel split.
+type fakeServer struct {
+	k       *Kernel
+	lp      *LP
+	promise Promise
+	name    string
+
+	// LP-owned
+	service Duration
+	serves  int
+
+	// host-owned, filled by Resolved
+	resolved []Time
+}
+
+func (s *fakeServer) grant() {
+	// LP commands must not read the kernel clock — the grant carries
+	// its issue time, like the disk's parallel path.
+	at := s.k.Now()
+	s.k.Reserve(&s.promise, s.lp, s.service, s.name+" grant", s)
+	s.lp.Post(cmdFunc(func() {
+		s.serves++
+		s.promise.Fulfill(at.Add(s.service*Duration(s.serves)), waiterFunc(func() {}))
+	}))
+}
+
+func (s *fakeServer) Resolved(p *Promise) { s.resolved = append(s.resolved, p.At()) }
+
+type waiterFunc func()
+
+func (f waiterFunc) Wake() { f() }
+
+// runFakeServers drives a deterministic little scenario at the given
+// worker count and returns a trace of what happened in virtual time.
+func runFakeServers(workers int) string {
+	k := NewKernel()
+	k.SetWorkers(workers)
+	var trace []string
+	servers := make([]*fakeServer, 3)
+	for i := range servers {
+		servers[i] = &fakeServer{
+			k: k, lp: k.NewLP(fmt.Sprintf("srv%d", i)),
+			name: fmt.Sprintf("srv%d", i), service: Duration(i+1) * Millisecond,
+		}
+	}
+	k.Spawn("driver", 0, func(p *Proc) {
+		for round := 0; round < 4; round++ {
+			for _, s := range servers {
+				s.grant()
+			}
+			p.Advance(10 * Millisecond)
+			trace = append(trace, fmt.Sprintf("round %d at %v", round, p.Now()))
+		}
+	})
+	k.Run()
+	for _, s := range servers {
+		trace = append(trace, fmt.Sprintf("%s resolved %v", s.name, s.resolved))
+	}
+	return strings.Join(trace, "\n")
+}
+
+// TestPromiseEquivalenceAcrossWorkers pins the core property of the
+// parallel kernel: the same scenario produces the same virtual-time
+// trace at any worker count, inline or threaded.
+func TestPromiseEquivalenceAcrossWorkers(t *testing.T) {
+	want := runFakeServers(1)
+	for _, w := range []int{2, 3, 4, 8} {
+		if got := runFakeServers(w); got != want {
+			t.Fatalf("workers=%d diverged:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}
+
+// TestPromiseGatesClock checks conservatism: a process may not advance
+// past an outstanding promise's bound, and the promised event fires at
+// its exact time with its reserved tie-break position.
+func TestPromiseGatesClock(t *testing.T) {
+	k := NewKernel()
+	k.SetWorkers(2)
+	lp := k.NewLP("gate")
+	var order []string
+	var pr Promise
+	k.Spawn("driver", 0, func(p *Proc) {
+		k.Reserve(&pr, lp, 5*Millisecond, "gated completion", nil)
+		lp.Post(cmdFunc(func() {
+			pr.Fulfill(Time(5*Millisecond), waiterFunc(func() {
+				order = append(order, "promise@"+k.Now().String())
+			}))
+		}))
+		p.Advance(20 * Millisecond)
+		order = append(order, "driver@"+p.Now().String())
+	})
+	k.Run()
+	want := "promise@5ms,driver@20ms"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+// TestFenceTransfersOwnership checks that after Fence the kernel
+// goroutine observes every posted command's effects.
+func TestFenceTransfersOwnership(t *testing.T) {
+	k := NewKernel()
+	k.SetWorkers(4)
+	lp := k.NewLP("owned")
+	sum := 0
+	k.Spawn("driver", 0, func(p *Proc) {
+		for i := 1; i <= 100; i++ {
+			i := i
+			lp.Post(cmdFunc(func() { sum += i }))
+		}
+		lp.Fence()
+		if sum != 5050 {
+			panic(fmt.Sprintf("fence did not drain: sum=%d", sum))
+		}
+	})
+	k.Run()
+	if sum != 5050 {
+		t.Fatalf("sum = %d after run", sum)
+	}
+}
+
+// TestCrossLPDeadlockNamesPartition extends the deadlock-panic
+// coverage to the parallel kernel: a promise whose fulfilling command
+// never arrives must panic with the partition's name and the promise's
+// label, not hang.
+func TestCrossLPDeadlockNamesPartition(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"cross-LP deadlock", "disk7", "orphaned grant"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("deadlock message %q missing %q", msg, want)
+			}
+		}
+	}()
+	k := NewKernel()
+	k.SetWorkers(2)
+	lp := k.NewLP("disk7")
+	var pr Promise
+	k.Spawn("driver", 0, func(p *Proc) {
+		k.Reserve(&pr, lp, Millisecond, "orphaned grant", nil)
+		// No command posted: nothing can ever fulfill the promise.
+		p.Advance(10 * Millisecond)
+	})
+	k.Run()
+}
+
+// TestExecutorPanicReachesKernel checks that a panic inside a posted
+// command is re-raised on the kernel goroutine (where tests and the
+// CLI can catch it) instead of killing the process from a bare
+// goroutine.
+func TestExecutorPanicReachesKernel(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic = %v, want the command's own panic", r)
+		}
+	}()
+	k := NewKernel()
+	k.SetWorkers(2)
+	lp := k.NewLP("bomb")
+	var pr Promise
+	k.Spawn("driver", 0, func(p *Proc) {
+		k.Reserve(&pr, lp, Millisecond, "doomed grant", nil)
+		lp.Post(cmdFunc(func() { panic("boom") }))
+		p.Advance(10 * Millisecond)
+	})
+	k.Run()
+}
+
+// TestInlineLPRunsSerially checks the Workers=1 degenerate case: Post
+// executes inline, Fulfill consumes immediately, Fence is a no-op.
+func TestInlineLPRunsSerially(t *testing.T) {
+	k := NewKernel()
+	lp := k.NewLP("inline")
+	ran := false
+	lp.Post(cmdFunc(func() { ran = true }))
+	if !ran {
+		t.Fatal("inline Post did not execute immediately")
+	}
+	lp.Fence() // must not hang or panic
+	fired := Time(-1)
+	var pr Promise
+	k.Spawn("driver", 0, func(p *Proc) {
+		k.Reserve(&pr, lp, 2*Millisecond, "inline grant", nil)
+		lp.Post(cmdFunc(func() {
+			pr.Fulfill(Time(3*Millisecond), waiterFunc(func() { fired = k.Now() }))
+		}))
+		p.Advance(10 * Millisecond)
+	})
+	k.Run()
+	if fired != Time(3*Millisecond) {
+		t.Fatalf("inline promise fired at %v, want 3ms", fired)
+	}
+}
+
+// TestRunUntilStopsExecutors checks that RunUntil leaves the kernel
+// quiescent (promises drained, partition state owned by the caller)
+// and that a later Run picks the work back up identically.
+func TestRunUntilStopsExecutors(t *testing.T) {
+	k := NewKernel()
+	k.SetWorkers(3)
+	lp := k.NewLP("srv")
+	served := 0
+	var pr Promise
+	grant := func() {
+		k.Reserve(&pr, lp, 8*Millisecond, "grant", nil)
+		lp.Post(cmdFunc(func() {
+			pr.Fulfill(k.Now().Add(8*Millisecond), waiterFunc(func() { served++ }))
+		}))
+	}
+	k.Spawn("driver", 0, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			grant()
+			p.Advance(8 * Millisecond)
+		}
+	})
+	if more := k.RunUntil(Time(10 * Millisecond)); !more {
+		t.Fatal("RunUntil reported no remaining work")
+	}
+	if k.execsLive {
+		t.Fatal("executors still live after RunUntil")
+	}
+	if served != 1 {
+		t.Fatalf("served = %d by 10ms, want 1", served)
+	}
+	k.Run()
+	if served != 3 {
+		t.Fatalf("served = %d after Run, want 3", served)
+	}
+}
