@@ -11,6 +11,7 @@ package rapid
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -335,6 +336,45 @@ func BenchmarkSingleRunParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkClusterScale measures the compact engine at cluster scale:
+// a 100k-node, 25k-disk prefetching run at the scale sweep's operating
+// point (16 blocks/node, disks at 50% utilization). Reports events/sec
+// — kernel events dispatched per wall-clock second — and bytes/node,
+// the live heap one run retains per node (the budget that makes the
+// 1M-node sweep feasible; the goroutine engine's stacks alone are 2
+// KB/node).
+func BenchmarkClusterScale(b *testing.B) {
+	const nodes = 100_000
+	b.ReportAllocs()
+	var events int64
+	var perNode float64
+	for i := 0; i < b.N; i++ {
+		cfg := ScaleConfig(nodes, nodes/4, true)
+		cfg.Pattern.TotalBlocks = 16 * nodes
+		cfg.ComputeMean = 7 * cfg.DiskAccess
+		sink := &obs.CounterSink{}
+		cfg.Obs = sink
+		b.StopTimer()
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.StartTimer()
+		r := MustRun(cfg)
+		b.StopTimer()
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if after.HeapAlloc > before.HeapAlloc {
+			perNode = float64(after.HeapAlloc-before.HeapAlloc) / nodes
+		}
+		runtime.KeepAlive(r)
+		b.StartTimer()
+		events = sink.Snapshot()[obs.CtrKernelEvents]
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(perNode, "bytes/node")
 }
 
 // BenchmarkExtPredictorStudy runs the on-the-fly prediction study (the

@@ -12,14 +12,17 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	rapid "repro"
 )
 
 func main() {
 	var (
-		scale    = flag.String("scale", "paper", "experiment scale: paper or test")
-		csvDir   = flag.String("csv", "", "directory to write per-figure CSV data")
+		scale      = flag.String("scale", "paper", "experiment scale: paper, test, or cluster (100k-1M node compact-engine sweep)")
+		scaleNodes = flag.String("scale-nodes", "", "comma-separated node counts for -scale cluster (default 100000,250000,500000,1000000)")
+		csvDir     = flag.String("csv", "", "directory to write per-figure CSV data")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		simW     = flag.Int("sim-workers", 1, "parallel-kernel workers inside each simulation (1 = serial kernel; results identical at any value)")
 		progress = flag.Bool("progress", false, "report run completions to stderr")
@@ -43,6 +46,11 @@ func main() {
 		// (and flush) the profile before the file closes.
 		defer f.Close()
 		defer pprof.StopCPUProfile()
+	}
+
+	if *scale == "cluster" {
+		runCluster(*scaleNodes, *csvDir, *progress, *memProf)
+		return
 	}
 
 	var opts rapid.SuiteOptions
@@ -126,20 +134,87 @@ func main() {
 		fmt.Printf("\nwrote %d CSV files to %s\n", len(figs), *csvDir)
 	}
 
-	if *memProf != "" {
-		f, err := os.Create(*memProf)
-		if err != nil {
+	writeMemProfile(*memProf)
+}
+
+// runCluster executes the cluster-scale study (-scale cluster): the
+// 100k-1M node sweep on the compact engine, the disk-contention knee
+// study, and the S1-S4 claim checks. Runs are strictly serial — each
+// cell's bytes/node is a whole-process heap measurement.
+func runCluster(nodesCSV, csvDir string, progress bool, memProf string) {
+	opts := rapid.ScaleOptions{}
+	if nodesCSV != "" {
+		for _, tok := range strings.Split(nodesCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "suite: bad -scale-nodes entry %q\n", tok)
+				os.Exit(1)
+			}
+			opts.Nodes = append(opts.Nodes, n)
+		}
+	}
+	if progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcell %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	sizes := opts.Nodes
+	if len(sizes) == 0 {
+		sizes = rapid.DefaultScaleSizes()
+	}
+	fmt.Printf("running the cluster-scale study at %v nodes...\n\n", sizes)
+	v, sweep := rapid.VerifyScaleClaims(opts)
+	fmt.Println(sweep.Table())
+	fmt.Println(v.Report())
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "suite:", err)
 			os.Exit(1)
 		}
-		runtime.GC() // settle retained memory before the snapshot
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "suite:", err)
-			os.Exit(1)
+		figs := map[string]*rapid.Figure{
+			"scale_total_time.csv":     sweep.TotalTime,
+			"scale_improvement.csv":    sweep.Improvement,
+			"scale_throughput.csv":     sweep.Throughput,
+			"scale_bytes_per_node.csv": sweep.BytesPerNode,
+			"scale_disk_knee.csv":      sweep.DiskKnee,
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "suite:", err)
-			os.Exit(1)
+		for name, fig := range figs {
+			path := filepath.Join(csvDir, name)
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "suite:", err)
+				os.Exit(1)
+			}
 		}
+		fmt.Printf("\nwrote %d CSV files to %s\n", len(figs), csvDir)
+	}
+
+	writeMemProfile(memProf)
+	if failed := v.Failed(); len(failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suite:", err)
+		os.Exit(1)
+	}
+	runtime.GC() // settle retained memory before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "suite:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "suite:", err)
+		os.Exit(1)
 	}
 }

@@ -18,7 +18,7 @@ func TestAuditCatchesSeededCorruption(t *testing.T) {
 			name: "free buffer in service",
 			want: "corrupt free buffer",
 			corrupt: func(c *Cache) {
-				c.free[DemandClass][0].state = Ready
+				c.free[DemandClass].head.state = Ready
 			},
 		},
 		{
@@ -26,7 +26,7 @@ func TestAuditCatchesSeededCorruption(t *testing.T) {
 			want: "not in map",
 			corrupt: func(c *Cache) {
 				buf := c.AllocateDemand(0, 7)
-				delete(c.byBlock, 7)
+				c.byBlock.del(7)
 				_ = buf
 			},
 		},
@@ -45,7 +45,8 @@ func TestAuditCatchesSeededCorruption(t *testing.T) {
 				if c.Squeeze(1) != 1 {
 					t.Fatal("squeeze retired nothing")
 				}
-				for _, b := range c.buffers {
+				for i := range c.arena {
+					b := &c.arena[i]
 					if b.retired {
 						b.onLRU = true
 						return

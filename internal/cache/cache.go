@@ -21,13 +21,15 @@ package cache
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
-// State is the lifecycle state of a buffer.
-type State int
+// State is the lifecycle state of a buffer. One byte wide: it is
+// stored per frame, and at cluster scale frame metadata is live memory.
+type State uint8
 
 // Buffer states.
 const (
@@ -63,20 +65,34 @@ type ErrorSource interface {
 	FetchError() error
 }
 
-// Buffer is one cache frame.
+// Buffer is one cache frame. The struct is deliberately narrow: frame
+// ids, block numbers, node ids, and pin counts all fit in 31 bits (New
+// rejects larger populations), and with three frames per node on a
+// million-node machine every field here is megabytes of live heap.
 type Buffer struct {
-	id    int
-	block int // logical block held, or -1 when Invalid
-	state State
-	pins  int
+	id    int32
+	block int32 // logical block held, or -1 when Invalid
+	pins  int32
+	// prefetchedBy is the node that issued the prefetch; home is the
+	// node whose processor fetched the block: on a NUMA machine the
+	// buffer memory lives there, and other nodes pay remote references
+	// to copy from it (paper footnote 1).
+	prefetchedBy int32
+	home         int32
 
+	// state/class are one byte each; class is fixed at construction.
+	state State
+	class Class
 	// prefetched is true from prefetch allocation until first use.
-	prefetched   bool
-	prefetchedBy int // node that issued the prefetch
-	// home is the node whose processor fetched the block: on a NUMA
-	// machine the buffer memory lives there, and other nodes pay remote
-	// references to copy from it (paper footnote 1).
-	home int
+	prefetched bool
+	// retired is set when a capacity squeeze permanently removes the
+	// frame from service: it sits Invalid, off every list, and is never
+	// claimed again.
+	retired bool
+	// List-membership flags for the shared intrusive linkage below.
+	onLRU  bool
+	onFree bool
+	onPF   bool
 
 	// IODone fires when the in-flight transfer completes. Valid while
 	// Fetching (and afterwards, fired).
@@ -92,17 +108,14 @@ type Buffer struct {
 	fetchStarted sim.Time
 	fetchDone    sim.Time
 
-	// class is fixed at construction: demand or prefetch frame.
-	class Class
-
-	// retired is set when a capacity squeeze permanently removes the
-	// frame from service: it sits Invalid, off every list, and is never
-	// claimed again.
-	retired bool
-
-	// reusable-list linkage.
+	// Intrusive linkage, shared by the free list (singly linked through
+	// next, onFree), the reusable LRU list (doubly linked, onLRU), and
+	// the prefetched-unconsumed order list (doubly linked, onPF). The
+	// three memberships are mutually exclusive — free requires Invalid,
+	// the LRU requires Ready and not prefetched, pfOrder requires
+	// prefetched — so one pair of links serves all three; Audit enforces
+	// the exclusions.
 	prev, next *Buffer
-	onLRU      bool
 
 	owner *Cache // for the fetch-completion continuation's Wake
 }
@@ -129,16 +142,16 @@ func (b *Buffer) Wake() {
 func (b *Buffer) FillErr() error { return b.fillErr }
 
 // ID returns the frame number.
-func (b *Buffer) ID() int { return b.id }
+func (b *Buffer) ID() int { return int(b.id) }
 
 // Block returns the logical block held (or -1).
-func (b *Buffer) Block() int { return b.block }
+func (b *Buffer) Block() int { return int(b.block) }
 
 // State returns the buffer's lifecycle state.
 func (b *Buffer) State() State { return b.state }
 
 // Pins returns the current pin count.
-func (b *Buffer) Pins() int { return b.pins }
+func (b *Buffer) Pins() int { return int(b.pins) }
 
 // Prefetched reports whether the buffer holds a prefetched block that no
 // process has used yet.
@@ -146,7 +159,7 @@ func (b *Buffer) Prefetched() bool { return b.prefetched }
 
 // Home returns the node whose processor fetched the block (where the
 // buffer memory lives on a NUMA machine).
-func (b *Buffer) Home() int { return b.home }
+func (b *Buffer) Home() int { return int(b.home) }
 
 // Class returns the frame's fixed class.
 func (b *Buffer) Class() Class { return b.class }
@@ -197,7 +210,7 @@ func (f PrefetchFail) String() string {
 // which is what lets prefetch attempts fail for lack of a free buffer
 // even when the prefetched-unused counters have room — the paper's lfp
 // waste mechanism.
-type Class int
+type Class uint8
 
 // Frame classes.
 const (
@@ -288,18 +301,19 @@ func (s *Stats) MissRatio() float64 {
 	return float64(s.Misses) / float64(a)
 }
 
-// Cache is the shared block cache. It is not safe for concurrent use;
-// the simulation kernel serializes all access.
+// Cache is the shared block cache. Lookup and Contains are safe for
+// concurrent readers (the block index is sharded with per-shard
+// locks); all mutating paths are serialized by the simulation kernel.
 type Cache struct {
 	k    *sim.Kernel
 	opts Options
 
-	buffers []*Buffer
-	byBlock map[int]*Buffer
-	// Per-class free lists and reusable LRU lists. A reusable frame is
-	// Ready, unpinned, and not an unconsumed prefetch; it still
-	// satisfies lookups until recycled.
-	free [2][]*Buffer
+	arena   []Buffer
+	byBlock blockIndex
+	// Per-class intrusive free lists and reusable LRU lists. A
+	// reusable frame is Ready, unpinned, and not an unconsumed
+	// prefetch; it still satisfies lookups until recycled.
+	free [2]freeList
 	lru  [2]lruList
 
 	prefetchedUnused int
@@ -307,12 +321,24 @@ type Cache struct {
 	// retired counts frames permanently removed by a capacity squeeze.
 	retired int
 	// pfOrder lists prefetched-unused buffers oldest first, for
-	// mistake eviction under EvictablePrefetched.
-	pfOrder []*Buffer
+	// mistake eviction under EvictablePrefetched. Intrusive (through
+	// the shared prev/next links) so that consuming a prefetch unlinks
+	// in O(1): with one unconsumed prefetch per node, a slice here
+	// turns cluster-scale runs quadratic in the node count.
+	pfOrder pfList
 
 	stats Stats
 
 	obs obs.Sink // nil = no observability (the common case)
+
+	// doneSentinel is a single pre-fired event swapped into IODone when
+	// a fill completes successfully. Post-completion readers only ever
+	// ask Fired() (waitEvent and its compact analogue return before
+	// touching anything else on a fired event), and dropping the real
+	// event releases the disk request it is embedded in — without the
+	// swap every frame would pin its last request's full record, which
+	// at cluster scale is hundreds of retained bytes per node.
+	doneSentinel *sim.Event
 
 	// Freed wakes processes waiting for a frame to become available.
 	Freed *sim.WaitQueue
@@ -334,7 +360,7 @@ func (c *Cache) fillSpan(buf *Buffer, block int, failed bool) {
 		arg |= 2
 	}
 	c.obs.Span(obs.Span{
-		Track: obs.ProcTrack(buf.home), Kind: obs.SpanCacheFill,
+		Track: obs.ProcTrack(int(buf.home)), Kind: obs.SpanCacheFill,
 		Start: int64(buf.fetchStarted), End: int64(c.k.Now()),
 		Block: block, Arg: arg,
 	})
@@ -352,22 +378,31 @@ func New(k *sim.Kernel, opts Options) *Cache {
 		panic("cache: non-positive node count")
 	}
 	total := opts.DemandFrames + opts.PrefetchFrames
+	if total > math.MaxInt32 {
+		panic("cache: frame population exceeds int32 ids")
+	}
 	c := &Cache{
 		k:       k,
 		opts:    opts,
-		byBlock: make(map[int]*Buffer, total),
 		perNode: make([]int, opts.Nodes),
 		Freed:   sim.NewWaitQueue(k).SetLabel("a freed cache frame"),
 	}
-	c.buffers = make([]*Buffer, total)
-	for i := range c.buffers {
+	c.doneSentinel = sim.NewEvent(k).SetLabel("a completed fill")
+	c.doneSentinel.Fire()
+	c.byBlock.init(total)
+	// Frames live in one contiguous allocation; every list threads
+	// through the structs in place. At cluster scale this keeps
+	// per-frame overhead to the struct itself — no pointer slab to
+	// allocate or for the GC to scan.
+	c.arena = make([]Buffer, total)
+	for i := range c.arena {
 		class := DemandClass
 		if i >= opts.DemandFrames {
 			class = PrefetchClass
 		}
-		b := &Buffer{id: i, block: -1, class: class, owner: c}
-		c.buffers[i] = b
-		c.free[class] = append(c.free[class], b)
+		b := &c.arena[i]
+		b.id, b.block, b.class, b.owner = int32(i), -1, class, c
+		c.free[class].push(b)
 	}
 	return c
 }
@@ -384,15 +419,15 @@ func (c *Cache) PrefetchedUnused() int { return c.prefetchedUnused }
 // AvailableFrames returns how many frames of the class could be claimed
 // right now (free plus reusable).
 func (c *Cache) AvailableFrames(class Class) int {
-	return len(c.free[class]) + c.lru[class].len
+	return c.free[class].len + c.lru[class].len
 }
 
 // Lookup returns the buffer holding the block, or nil. It does not pin
 // or record a hit; use Pin for the access path.
-func (c *Cache) Lookup(block int) *Buffer { return c.byBlock[block] }
+func (c *Cache) Lookup(block int) *Buffer { return c.byBlock.get(block) }
 
 // Contains reports whether the block is present (fetching or ready).
-func (c *Cache) Contains(block int) bool { return c.byBlock[block] != nil }
+func (c *Cache) Contains(block int) bool { return c.byBlock.get(block) != nil }
 
 // Pin records an access by node to an existing buffer: the hit path.
 // It pins the buffer, removes it from the reusable list if necessary,
@@ -439,7 +474,7 @@ func (c *Cache) Pin(node int, buf *Buffer) (ready bool) {
 // pinned once, and registered in the block map; the caller must submit
 // the disk request and call BeginFetch.
 func (c *Cache) AllocateDemand(node, block int) *Buffer {
-	if c.byBlock[block] != nil {
+	if c.byBlock.get(block) != nil {
 		panic(fmt.Sprintf("cache: AllocateDemand for cached block %d", block))
 	}
 	buf := c.claimFrame(DemandClass)
@@ -450,11 +485,11 @@ func (c *Cache) AllocateDemand(node, block int) *Buffer {
 	if c.obs != nil {
 		c.obs.Add(obs.CtrCacheMisses, 1)
 	}
-	buf.block = block
+	buf.block = int32(block)
 	buf.state = Fetching
 	buf.pins = 1
-	buf.home = node
-	c.byBlock[block] = buf
+	buf.home = int32(node)
+	c.byBlock.set(block, buf)
 	return buf
 }
 
@@ -464,18 +499,18 @@ func (c *Cache) AllocateDemand(node, block int) *Buffer {
 // fs layer's write path (the testbed itself is read-only, as in the
 // paper).
 func (c *Cache) AllocateWrite(node, block int) *Buffer {
-	if c.byBlock[block] != nil {
+	if c.byBlock.get(block) != nil {
 		panic(fmt.Sprintf("cache: AllocateWrite for cached block %d", block))
 	}
 	buf := c.claimFrame(DemandClass)
 	if buf == nil {
 		return nil
 	}
-	buf.block = block
+	buf.block = int32(block)
 	buf.state = Ready
 	buf.pins = 1
-	buf.home = node
-	c.byBlock[block] = buf
+	buf.home = int32(node)
+	c.byBlock.set(block, buf)
 	return buf
 }
 
@@ -518,7 +553,7 @@ func (c *Cache) CanPrefetch(node int) PrefetchFail {
 // buffer is Fetching, unpinned, flagged prefetched, and registered; the
 // caller must submit the disk request and call BeginFetch.
 func (c *Cache) AllocatePrefetch(node, block int) (*Buffer, PrefetchFail) {
-	if c.byBlock[block] != nil {
+	if c.byBlock.get(block) != nil {
 		return nil, FailInCache
 	}
 	if c.opts.MaxPerNodePrefetched > 0 && c.perNode[node] >= c.opts.MaxPerNodePrefetched {
@@ -546,15 +581,15 @@ func (c *Cache) AllocatePrefetch(node, block int) (*Buffer, PrefetchFail) {
 		c.stats.FailsNoBuffer++
 		return nil, FailNoBuffer
 	}
-	buf.block = block
+	buf.block = int32(block)
 	buf.state = Fetching
 	buf.prefetched = true
-	buf.prefetchedBy = node
-	buf.home = node
-	c.byBlock[block] = buf
+	buf.prefetchedBy = int32(node)
+	buf.home = int32(node)
+	c.byBlock.set(block, buf)
 	c.prefetchedUnused++
 	c.perNode[node]++
-	c.pfOrder = append(c.pfOrder, buf)
+	c.pfOrder.pushTail(buf)
 	c.stats.PrefetchesIssued++
 	if c.obs != nil {
 		c.obs.Add(obs.CtrCachePrefetchesIssued, 1)
@@ -566,15 +601,15 @@ func (c *Cache) AllocatePrefetch(node, block int) (*Buffer, PrefetchFail) {
 // prefetched block — a misprediction that is costing a frame. Blocks
 // whose I/O is still in flight are not touched.
 func (c *Cache) evictUnconsumedPrefetch() *Buffer {
-	for i, b := range c.pfOrder {
+	for b := c.pfOrder.head; b != nil; b = b.next {
 		if b.prefetched && b.state == Ready {
-			c.pfOrder = append(c.pfOrder[:i], c.pfOrder[i+1:]...)
+			c.pfOrder.remove(b)
 			b.prefetched = false
 			c.prefetchedUnused--
 			c.perNode[b.prefetchedBy]--
 			c.stats.PrefetchesEvicted++
 			c.stats.Evictions++
-			delete(c.byBlock, b.block)
+			c.byBlock.del(int(b.block))
 			b.block = -1
 			b.state = Invalid
 			b.IODone = nil
@@ -614,10 +649,14 @@ func (c *Cache) markReady(buf *Buffer) {
 		panic(fmt.Sprintf("cache: markReady on %v buffer", buf.state))
 	}
 	if c.obs != nil {
-		c.fillSpan(buf, buf.block, false)
+		c.fillSpan(buf, int(buf.block), false)
 	}
 	buf.state = Ready
 	buf.fetchSrc = nil
+	// Swap the fill's event for the shared fired sentinel: readers
+	// after this point only check Fired(), and keeping the real event
+	// would retain the whole disk request embedding it.
+	buf.IODone = c.doneSentinel
 	// A ready, unpinned, non-prefetched buffer would be reusable, but
 	// that combination cannot arise here: demand fetches stay pinned by
 	// their requester and prefetched buffers await consumption.
@@ -636,9 +675,9 @@ func (c *Cache) failFetch(buf *Buffer, err error) {
 	c.stats.FailedFills++
 	if c.obs != nil {
 		c.obs.Add(obs.CtrCacheFailedFills, 1)
-		c.fillSpan(buf, buf.block, true)
+		c.fillSpan(buf, int(buf.block), true)
 	}
-	delete(c.byBlock, buf.block)
+	c.byBlock.del(int(buf.block))
 	buf.block = -1
 	buf.fetchSrc = nil
 	if buf.prefetched {
@@ -665,7 +704,7 @@ func (c *Cache) recycle(buf *Buffer) {
 	buf.state = Invalid
 	buf.IODone = nil
 	buf.fillErr = nil
-	c.free[buf.class] = append(c.free[buf.class], buf)
+	c.free[buf.class].push(buf)
 	c.Freed.WakeAll()
 }
 
@@ -689,20 +728,15 @@ func (c *Cache) Unpin(buf *Buffer) {
 }
 
 func (c *Cache) dropFromOrder(buf *Buffer) {
-	for i, b := range c.pfOrder {
-		if b == buf {
-			c.pfOrder = append(c.pfOrder[:i], c.pfOrder[i+1:]...)
-			return
-		}
+	if buf.onPF {
+		c.pfOrder.remove(buf)
 	}
 }
 
 // claimFrame takes an invalid frame of the class from its free list, or
 // recycles the class's least recently used reusable frame.
 func (c *Cache) claimFrame(class Class) *Buffer {
-	if n := len(c.free[class]); n > 0 {
-		buf := c.free[class][n-1]
-		c.free[class] = c.free[class][:n-1]
+	if buf := c.free[class].pop(); buf != nil {
 		return buf
 	}
 	buf := c.lru[class].popHead()
@@ -710,7 +744,7 @@ func (c *Cache) claimFrame(class Class) *Buffer {
 		return nil
 	}
 	c.stats.Evictions++
-	delete(c.byBlock, buf.block)
+	c.byBlock.del(int(buf.block))
 	buf.block = -1
 	buf.state = Invalid
 	buf.IODone = nil
@@ -764,17 +798,25 @@ func (c *Cache) CheckInvariants() {
 // inconsistency. It never mutates state.
 func (c *Cache) Audit() error {
 	for class := DemandClass; class <= PrefetchClass; class++ {
-		for _, b := range c.free[class] {
-			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.class != class || b.fillErr != nil || b.retired {
+		walked := 0
+		for b := c.free[class].head; b != nil; b = b.next {
+			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || !b.onFree || b.class != class || b.fillErr != nil || b.retired {
 				return fmt.Errorf("cache: corrupt free buffer %d", b.id)
 			}
+			if walked++; walked > c.free[class].len {
+				return fmt.Errorf("cache: %s free list longer than its count (cycle?)", class)
+			}
+		}
+		if walked != c.free[class].len {
+			return fmt.Errorf("cache: %s free list count %d, walked %d", class, c.free[class].len, walked)
 		}
 	}
 	pf := 0
 	perNode := make([]int, c.opts.Nodes)
 	mapped := 0
 	retired := 0
-	for _, b := range c.buffers {
+	for i := range c.arena {
+		b := &c.arena[i]
 		if b.retired {
 			retired++
 			if b.state != Invalid || b.block != -1 || b.pins != 0 || b.onLRU || b.prefetched {
@@ -783,7 +825,7 @@ func (c *Cache) Audit() error {
 			continue
 		}
 		if b.block >= 0 {
-			if c.byBlock[b.block] != b {
+			if c.byBlock.get(int(b.block)) != b {
 				return fmt.Errorf("cache: buffer %d not in map for block %d", b.id, b.block)
 			}
 			mapped++
@@ -801,6 +843,12 @@ func (c *Cache) Audit() error {
 		if b.onLRU && (b.pins != 0 || b.state != Ready || b.prefetched) {
 			return fmt.Errorf("cache: buffer %d on LRU in wrong state", b.id)
 		}
+		if b.onFree && (b.state != Invalid || b.onLRU) {
+			return fmt.Errorf("cache: buffer %d on free list in wrong state", b.id)
+		}
+		if b.state == Invalid && !b.onFree && !b.retired {
+			return fmt.Errorf("cache: invalid buffer %d off the free list", b.id)
+		}
 		if b.state == Failed && (b.block != -1 || b.pins == 0 || b.prefetched || b.onLRU || b.fillErr == nil) {
 			return fmt.Errorf("cache: failed buffer %d in wrong state", b.id)
 		}
@@ -811,19 +859,27 @@ func (c *Cache) Audit() error {
 	if retired != c.retired {
 		return fmt.Errorf("cache: retired=%d but counted %d", c.retired, retired)
 	}
-	if mapped != len(c.byBlock) {
+	if mapped != c.byBlock.size() {
 		return fmt.Errorf("cache: block map size mismatch")
 	}
 	if pf != c.prefetchedUnused {
 		return fmt.Errorf("cache: prefetchedUnused=%d but counted %d", c.prefetchedUnused, pf)
 	}
-	if len(c.pfOrder) != pf {
-		return fmt.Errorf("cache: pfOrder has %d entries, want %d", len(c.pfOrder), pf)
+	if c.pfOrder.len != pf {
+		return fmt.Errorf("cache: pfOrder has %d entries, want %d", c.pfOrder.len, pf)
 	}
-	for _, b := range c.pfOrder {
+	walked := 0
+	for b := c.pfOrder.head; b != nil; b = b.next {
 		if !b.prefetched {
 			return fmt.Errorf("cache: consumed buffer %d still in pfOrder", b.id)
 		}
+		if b.onLRU || b.onFree || !b.onPF {
+			return fmt.Errorf("cache: pfOrder buffer %d with conflicting list membership", b.id)
+		}
+		walked++
+	}
+	if walked != c.pfOrder.len {
+		return fmt.Errorf("cache: pfOrder links walk %d entries, len says %d", walked, c.pfOrder.len)
 	}
 	for n, v := range perNode {
 		if v != c.perNode[n] {
@@ -887,4 +943,48 @@ func (l *lruList) popHead() *Buffer {
 	b := l.head
 	l.remove(b)
 	return b
+}
+
+// pfList is an intrusive doubly-linked list of prefetched-unconsumed
+// buffers, oldest first. It shares Buffer's prev/next links with the
+// free and LRU lists: a prefetched-unconsumed frame is never Invalid
+// (free) and never consumed (LRU), so the memberships cannot overlap.
+type pfList struct {
+	head, tail *Buffer
+	len        int
+}
+
+func (l *pfList) pushTail(b *Buffer) {
+	if b.onPF || b.onLRU || b.onFree {
+		panic("cache: buffer already on a list")
+	}
+	b.onPF = true
+	b.prev = l.tail
+	b.next = nil
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+	l.len++
+}
+
+func (l *pfList) remove(b *Buffer) {
+	if !b.onPF {
+		panic("cache: removing buffer not on pfOrder")
+	}
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+	b.onPF = false
+	l.len--
 }

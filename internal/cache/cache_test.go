@@ -351,7 +351,7 @@ func TestPinPanicsOnInvalid(t *testing.T) {
 			t.Fatal("Pin on invalid buffer did not panic")
 		}
 	}()
-	c.Pin(0, c.buffers[0])
+	c.Pin(0, &c.arena[0])
 }
 
 func TestUnpinPanicsWithoutPin(t *testing.T) {

@@ -40,8 +40,8 @@ func (e *Engine) buildAuditor() *audit.Auditor {
 // auditMembership checks that every cleanly finished process has left
 // the barrier.
 func (e *Engine) auditMembership() error {
-	for node, fin := range e.finished {
-		if fin && e.bar.Member(node) {
+	for node := range e.nodes {
+		if e.nodes[node].finished && e.bar.Member(node) {
 			return fmt.Errorf("core: node %d finished but is still a barrier member", node)
 		}
 	}
@@ -57,7 +57,8 @@ func (e *Engine) auditCursors() error {
 		}
 		return nil
 	}
-	for node, c := range e.localCursor {
+	for node := range e.nodes {
+		c := e.nodes[node].localCursor
 		if c < 0 || c > len(e.pat.Local[node]) {
 			return fmt.Errorf("core: node %d local cursor %d outside [0, %d]", node, c, len(e.pat.Local[node]))
 		}

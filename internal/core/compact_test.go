@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+// compactConfigs is a matrix over everything the compact engine
+// supports: both global patterns, every sync style, prefetching off /
+// oracle / on-the-fly predictors, I/O-bound and balanced computation.
+func compactConfigs() map[string]Config {
+	m := map[string]Config{}
+	base := func(kind pattern.Kind) Config {
+		cfg := DefaultConfig(kind)
+		cfg.Procs = 8
+		cfg.Disks = 4
+		cfg.Pattern.Procs = 8
+		cfg.Pattern.TotalBlocks = 96
+		cfg.CompactNodes = true
+		return cfg
+	}
+	m["gw/plain"] = base(pattern.GW)
+	m["gfp/plain"] = base(pattern.GFP)
+
+	c := base(pattern.GW)
+	c.Prefetch = true
+	m["gw/oracle"] = c
+
+	c = base(pattern.GW)
+	c.Prefetch = true
+	c.Predictor = predict.SEQ
+	m["gw/seq"] = c
+
+	c = base(pattern.GFP)
+	c.Prefetch = true
+	c.Sync = barrier.EveryNPerProc
+	c.SyncEveryPerProc = 3
+	m["gfp/everyper"] = c
+
+	c = base(pattern.GW)
+	c.Prefetch = true
+	c.Sync = barrier.EveryNTotal
+	c.SyncEveryTotal = 24
+	m["gw/everytotal"] = c
+
+	c = base(pattern.GFP)
+	c.Sync = barrier.PerPortion
+	m["gfp/perportion"] = c
+
+	c = base(pattern.GW)
+	c.Prefetch = true
+	c.ComputeMean = 0
+	c.MinPrefetchTime = 5 * sim.Millisecond
+	m["gw/iobound-minpf"] = c
+
+	c = base(pattern.GW)
+	c.Prefetch = true
+	c.PerNodePrefetchLimit = true
+	c.AuditEvery = 5 * sim.Millisecond
+	m["gw/audited"] = c
+	return m
+}
+
+// TestCompactDeterminism is the compact engine's core contract: the
+// same configuration produces byte-identical Results on repeated runs
+// and at any SimWorkers count.
+func TestCompactDeterminism(t *testing.T) {
+	t.Parallel()
+	for name, cfg := range compactConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runJSON := func(workers int) []byte {
+				c := cfg
+				c.SimWorkers = workers
+				b, err := json.Marshal(MustRun(c))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			first := runJSON(1)
+			if again := runJSON(1); string(again) != string(first) {
+				t.Fatal("repeat run differs")
+			}
+			for _, w := range []int{2, 4} {
+				if got := runJSON(w); string(got) != string(first) {
+					t.Fatalf("SimWorkers=%d differs from serial", w)
+				}
+			}
+		})
+	}
+}
+
+// TestCompactConservation checks workload conservation against the
+// goroutine engine: both engines must read every pattern entry exactly
+// once and finish every node. Timing-sensitive measurements are allowed
+// to differ (same-instant work interleaves differently); the work done
+// is not.
+func TestCompactConservation(t *testing.T) {
+	t.Parallel()
+	for name, cfg := range compactConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			compact := MustRun(cfg)
+			gcfg := cfg
+			gcfg.CompactNodes = false
+			gor := MustRun(gcfg)
+
+			wantReads := 0
+			for _, ps := range gor.PerProc {
+				wantReads += ps.Reads
+			}
+			gotReads := 0
+			for _, ps := range compact.PerProc {
+				gotReads += ps.Reads
+				if ps.Finish <= 0 {
+					t.Errorf("node %d never finished", ps.Node)
+				}
+			}
+			if gotReads != wantReads {
+				t.Fatalf("compact read %d blocks, goroutine engine %d", gotReads, wantReads)
+			}
+			if compact.TotalTime <= 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+			accesses := func(r *Result) int64 {
+				return r.Cache.ReadyHits + r.Cache.UnreadyHits + r.Cache.Misses
+			}
+			if got, want := accesses(compact), accesses(gor); got != want {
+				t.Fatalf("compact saw %d cache accesses, goroutine engine %d", got, want)
+			}
+		})
+	}
+}
+
+// TestCompactValidateRejects pins the compact mode's restrictions:
+// local patterns, fault injection, and tracing are refused up front
+// rather than failing mid-run.
+func TestCompactValidateRejects(t *testing.T) {
+	t.Parallel()
+	reject := func(name string, mutate func(*Config)) {
+		cfg := DefaultConfig(pattern.GW)
+		cfg.CompactNodes = true
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an unsupported compact configuration", name)
+		}
+	}
+	reject("local pattern", func(c *Config) {
+		*c = DefaultConfig(pattern.LFP)
+		c.CompactNodes = true
+	})
+	reject("disk faults", func(c *Config) { c.Fault.ReadErrorRate = 0.1 })
+	reject("node faults", func(c *Config) {
+		c.NodeFault.StragglerFactor = 2
+		c.NodeFault.StragglerNode = 0
+	})
+	reject("trace", func(c *Config) { c.Trace = func(Event) {} })
+
+	cfg := DefaultConfig(pattern.GW)
+	cfg.CompactNodes = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("plain global compact config rejected: %v", err)
+	}
+	// Backpressure is a throttle, not an injected fault: the one
+	// NodeFault field compact mode accepts (ScaleConfig relies on it).
+	cfg.NodeFault.Backpressure = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("backpressure-only compact config rejected: %v", err)
+	}
+}
+
+// TestConfigOverflowGuards pins the Validate overflow guards: node and
+// per-node buffer counts whose product wraps an int must be rejected,
+// not silently turned into a negative cache capacity.
+func TestConfigOverflowGuards(t *testing.T) {
+	t.Parallel()
+	huge := int(^uint(0)>>1)/2 + 1 // > MaxInt/2, so ×2 overflows
+	cfg := DefaultConfig(pattern.GW)
+	cfg.Procs = huge
+	cfg.Pattern.Procs = huge
+	cfg.RUSetSize = 2
+	if err := cfg.Validate(); err == nil {
+		t.Error("Procs × RUSetSize overflow accepted")
+	}
+	cfg = DefaultConfig(pattern.GW)
+	cfg.Procs = huge
+	cfg.Pattern.Procs = huge
+	cfg.Prefetch = true
+	cfg.PrefetchBuffersPerProc = 2
+	if err := cfg.Validate(); err == nil {
+		t.Error("Procs × PrefetchBuffersPerProc overflow accepted")
+	}
+	cfg = DefaultConfig(pattern.GW)
+	cfg.Procs = int(^uint(0)>>1)/4 + 1 // demand + prefetch pools together overflow
+	cfg.Pattern.Procs = cfg.Procs
+	cfg.Prefetch = true
+	cfg.PrefetchBuffersPerProc = 3
+	if err := cfg.Validate(); err == nil {
+		t.Error("total cache capacity overflow accepted")
+	}
+}
+
+// TestCompactBytesPerNode measures the compact engine's live heap per
+// node after a 20k-node run — the budget that makes 100k–1M node
+// sweeps feasible. The goroutine engine cannot pass this bar: its
+// stacks alone are 2 KB/node.
+func TestCompactBytesPerNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 20k-node engine")
+	}
+	const nodes = 20_000
+	cfg := ScaleConfig(nodes, 4, true)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	perNode := float64(after.HeapAlloc-before.HeapAlloc) / nodes
+	t.Logf("%d nodes: %.0f bytes/node live after run (total reads %d)", nodes, perNode, totalReads(res))
+	if perNode > 1024 {
+		t.Errorf("%.0f bytes/node exceeds the 1 KB/node budget", perNode)
+	}
+	runtime.KeepAlive(e)
+	runtime.KeepAlive(res)
+}
+
+// TestCompactBytesPerNode100k re-checks the live-heap budget at 100k
+// nodes — the scale sweep's leading size — with the engine still
+// reachable, under a properly provisioned disk array. CI pins this in
+// its cluster-scale smoke step.
+func TestCompactBytesPerNode100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 100k-node engine")
+	}
+	const nodes = 100_000
+	cfg := ScaleConfig(nodes, nodes/4, true)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	perNode := float64(after.HeapAlloc-before.HeapAlloc) / nodes
+	t.Logf("%d nodes: %.0f bytes/node live after run (total reads %d)", nodes, perNode, totalReads(res))
+	if perNode > 1024 {
+		t.Errorf("%.0f bytes/node exceeds the 1 KB/node budget", perNode)
+	}
+	runtime.KeepAlive(e)
+	runtime.KeepAlive(res)
+}
+
+// TestCompactClusterRaceSmoke drives a 10k-node compact run on the
+// 2-worker parallel kernel and cross-checks it against the serial
+// kernel. CI runs it under -race: the sharded cache index and the LP
+// machinery are the only state the kernel workers share at cluster
+// scale, and this is the step that would catch a race between them.
+func TestCompactClusterRaceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two 10k-node simulations")
+	}
+	const nodes = 10_000
+	cfg := ScaleConfig(nodes, nodes/4, true)
+	cfg.SimWorkers = 2
+	r := MustRun(cfg)
+	if got := int(r.Cache.Accesses()); got != cfg.Pattern.TotalBlocks {
+		t.Fatalf("accesses %d, want %d", got, cfg.Pattern.TotalBlocks)
+	}
+	serial := cfg
+	serial.SimWorkers = 1
+	r2 := MustRun(serial)
+	a, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("10k-node compact run diverged between 2 and 1 sim workers")
+	}
+}
+
+func totalReads(r *Result) int {
+	n := 0
+	for _, ps := range r.PerProc {
+		n += ps.Reads
+	}
+	return n
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/barrier"
 	"repro/internal/disk"
@@ -112,6 +113,19 @@ type Config struct {
 	// runs produce the same Result as unaudited ones (only the
 	// observability kernel-event counts differ).
 	AuditEvery sim.Duration
+
+	// CompactNodes selects the goroutine-free compact engine: each
+	// processor runs as an event-driven state machine in kernel context
+	// instead of a spawned goroutine, cutting per-node memory from a
+	// goroutine stack (2 KB minimum) to a flat record well under 1 KB —
+	// the representation that makes 100k–1M node runs fit in memory.
+	// Results are deterministic (same seed and config give the same
+	// bytes at any SimWorkers count) but not byte-identical to the
+	// goroutine engine: same-instant work interleaves differently, so
+	// contention counts and hence exact timings can differ. Restricted
+	// to global access patterns with no fault injection and no Trace;
+	// Validate rejects unsupported combinations.
+	CompactNodes bool `json:"compactNodes,omitempty"`
 
 	// SimWorkers, when above one, runs the simulation on the parallel
 	// discrete-event kernel: each disk becomes its own logical
@@ -241,8 +255,47 @@ func (c *Config) Validate() error {
 	if c.SimWorkers < 0 {
 		return fmt.Errorf("core: negative SimWorkers %d", c.SimWorkers)
 	}
+	if c.CompactNodes {
+		if c.Pattern.Kind.Local() {
+			return fmt.Errorf("core: CompactNodes supports only global access patterns, not %v", c.Pattern.Kind)
+		}
+		if c.Fault.Enabled() {
+			return fmt.Errorf("core: CompactNodes does not support disk fault injection")
+		}
+		// Backpressure is a prefetch throttle, not an injected fault:
+		// the compact engine honors it (ScaleConfig sets it — at the
+		// contention knee an ungated action loop retries a failed
+		// frame hunt every few microseconds for the whole multi-second
+		// disk wait). Everything else in NodeFault stays rejected.
+		nf := c.NodeFault
+		nf.Backpressure = false
+		if nf.Enabled() {
+			return fmt.Errorf("core: CompactNodes does not support node fault injection")
+		}
+		if c.Trace != nil {
+			return fmt.Errorf("core: CompactNodes does not support tracing")
+		}
+	}
+	// Cluster-scale configurations multiply Procs by per-node counts
+	// (CacheCapacity, pattern sizing); reject products that overflow int
+	// rather than silently wrapping into a negative capacity.
+	if !mulOK(c.Procs, c.RUSetSize) {
+		return fmt.Errorf("core: Procs × RUSetSize (%d × %d) overflows", c.Procs, c.RUSetSize)
+	}
+	if c.Prefetch {
+		if !mulOK(c.Procs, c.PrefetchBuffersPerProc) {
+			return fmt.Errorf("core: Procs × PrefetchBuffersPerProc (%d × %d) overflows", c.Procs, c.PrefetchBuffersPerProc)
+		}
+		if c.Procs*c.RUSetSize > math.MaxInt-c.Procs*c.PrefetchBuffersPerProc {
+			return fmt.Errorf("core: total cache capacity for %d procs overflows", c.Procs)
+		}
+	}
 	return nil
 }
+
+// mulOK reports whether a × b fits in an int; both factors are already
+// validated positive.
+func mulOK(a, b int) bool { return a <= math.MaxInt/b }
 
 // CacheCapacity returns the total buffer frames for this configuration:
 // one per processor per RU-set slot, plus the prefetch buffers when

@@ -36,42 +36,58 @@ type Engine struct {
 	res    *Result
 
 	// Fault injection (nil/zero unless cfg.Fault.Enabled()): the
-	// injector wired into the disks, the effective retry policy, and
-	// one backoff-jitter stream per node.
-	inj      *fault.Injector
-	retry    fault.RetryPolicy
-	retryRNG []*rng.Source
+	// injector wired into the disks and the effective retry policy;
+	// each node's backoff-jitter stream lives in its nodeState.
+	inj   *fault.Injector
+	retry fault.RetryPolicy
 
 	// Node-level fault injection (nil/zero unless
-	// cfg.NodeFault.Enabled()): the per-processor injector, the
-	// kill bookkeeping (which processors died, the FIFO of blocks the
-	// victim abandoned and the event announcing it), the clean-finish
-	// flags the invariant auditor checks against barrier membership,
-	// the wrapped fault.ErrProcDead describing an executed kill, and
-	// the auditor itself (nil unless cfg.AuditEvery > 0).
+	// cfg.NodeFault.Enabled()): the per-processor injector, the kill
+	// bookkeeping (whether a kill is armed, the FIFO of blocks the
+	// victim abandoned and the event announcing it), the wrapped
+	// fault.ErrProcDead describing an executed kill, and the auditor
+	// itself (nil unless cfg.AuditEvery > 0).
 	ninj          *fault.NodeInjector
-	deadProc      []bool
+	bpGate        bool
+	killArmed     bool
 	orphans       []int
 	orphansPosted *sim.Event
-	finished      []bool
 	killErr       error
 	aud           *audit.Auditor
 
-	// Observability sink (nil unless cfg.Obs is set), plus the block
-	// and issued flag of each node's prefetch action in flight, kept
-	// for the action span.
-	obs          obs.Sink
-	actionBlock  []int
-	actionIssued []bool
+	// Observability sink (nil unless cfg.Obs is set).
+	obs obs.Sink
 
-	// Per-node idle-time prefetch schedulers (nil when not prefetching)
-	// and the start time of each node's action in flight.
-	scheds      []*prefetch.Scheduler
-	actionStart []sim.Time
+	// nodes holds all mutable per-node state in one flat,
+	// index-addressed array — cursor, finish/death flags, the prefetch
+	// scheduler and its action-in-flight bookkeeping, the fault-retry
+	// jitter stream — replacing the per-concern parallel slices that
+	// used to scatter a node's state across eight allocations. One
+	// cache line each, no pointer web to chase at 100k+ nodes.
+	nodes []nodeState
+
+	// cnodes is the compact engine's node population (nil unless
+	// cfg.CompactNodes): one flat record per processor, no goroutines.
+	cnodes []cnode
 
 	globalCursor int
-	localCursor  []int
 	maxFinish    sim.Time
+}
+
+// nodeState is the engine's per-node record. Fields pack by size; the
+// struct stays well under a cache line pair so cluster-scale runs pay
+// ~100 bytes of engine state per node plus what the node actually
+// pins.
+type nodeState struct {
+	sched       *prefetch.Scheduler // nil when not prefetching
+	retryRNG    *rng.Source         // backoff jitter; nil without disk faults
+	localCursor int                 // next index into pat.Local[node]
+	actionBlock int                 // block of the action in flight (obs only)
+	actionStart sim.Time            // start of the action in flight
+
+	finished     bool // clean finish recorded (invariant auditor)
+	dead         bool // kill fired for this node
+	actionIssued bool // action in flight allocated a frame (obs only)
 }
 
 // New validates the configuration, generates the access pattern, and
@@ -94,13 +110,12 @@ func New(cfg Config) (*Engine, error) {
 		MaxSeek:      cfg.DiskMaxSeek,
 	}
 	e := &Engine{
-		cfg:         cfg,
-		k:           k,
-		pat:         pat,
-		layout:      interleave.NewWithStrategy(cfg.Layout, pat.FileBlocks, cfg.Disks, cfg.BlockSize),
-		disks:       disk.NewScheduledArray(k, cfg.Disks, profile, cfg.DiskSched),
-		localCursor: make([]int, cfg.Procs),
-		finished:    make([]bool, cfg.Procs),
+		cfg:    cfg,
+		k:      k,
+		pat:    pat,
+		layout: interleave.NewWithStrategy(cfg.Layout, pat.FileBlocks, cfg.Disks, cfg.BlockSize),
+		disks:  disk.NewScheduledArray(k, cfg.Disks, profile, cfg.DiskSched),
+		nodes:  make([]nodeState, cfg.Procs),
 		res: &Result{
 			Config:       cfg,
 			PerProc:      make([]ProcStats, cfg.Procs),
@@ -116,6 +131,17 @@ func New(cfg Config) (*Engine, error) {
 		}
 		if cfg.Predictor == predict.Oracle {
 			e.policy = prefetch.NewPolicy(pat, cfg.Lead)
+			// The forward-only scan cursor is exact only when a block
+			// ahead of the demand cursor can never leave the cache and
+			// the string never repeats a block; see SetMonotone.
+			// Backpressure alone doesn't disqualify: the gate declines
+			// actions but never demotes a fill or retires a frame.
+			nf := cfg.NodeFault
+			nf.Backpressure = false
+			if cfg.Lead == 0 && pat.Kind.Global() &&
+				!cfg.Fault.Enabled() && !nf.Enabled() {
+				e.policy.SetMonotone(true)
+			}
 		} else {
 			e.pred = predict.New(cfg.Predictor, cfg.Procs, pat.FileBlocks)
 		}
@@ -148,13 +174,13 @@ func New(cfg Config) (*Engine, error) {
 			e.retry = fault.DefaultRetry()
 		}
 		e.disks.SetFaults(e.inj)
-		e.retryRNG = make([]*rng.Source, cfg.Procs)
-		for node := range e.retryRNG {
-			e.retryRNG[node] = e.inj.RetryStream(node)
+		for node := range e.nodes {
+			e.nodes[node].retryRNG = e.inj.RetryStream(node)
 		}
 	}
 	if cfg.NodeFault.Enabled() {
 		e.ninj = fault.NewNodes(cfg.NodeFault, cfg.Procs)
+		e.bpGate = cfg.NodeFault.Backpressure
 	}
 	for node := 0; node < cfg.Procs; node++ {
 		e.res.PerProc[node].Node = node
@@ -189,13 +215,10 @@ func New(cfg Config) (*Engine, error) {
 // Run executes the experiment to completion and returns the collected
 // measurements. It must be called at most once per Engine.
 func (e *Engine) Run() *Result {
-	prefetching := e.policy != nil || e.pred != nil
-	if prefetching {
-		e.scheds = make([]*prefetch.Scheduler, e.cfg.Procs)
-		e.actionStart = make([]sim.Time, e.cfg.Procs)
-		e.actionBlock = make([]int, e.cfg.Procs)
-		e.actionIssued = make([]bool, e.cfg.Procs)
+	if e.cfg.CompactNodes {
+		return e.runCompact()
 	}
+	prefetching := e.policy != nil || e.pred != nil
 	e.armNodeFaults()
 	for node := 0; node < e.cfg.Procs; node++ {
 		node := node
@@ -203,15 +226,16 @@ func (e *Engine) Run() *Result {
 			e.procBody(p, node)
 		})
 		if prefetching {
-			e.scheds[node] = prefetch.NewScheduler(e.k, p,
+			sched := prefetch.NewScheduler(e.k, p,
 				func(deadline sim.Time) (sim.Duration, bool) { return e.beginAction(node, deadline) },
 				func() { e.finishAction(node) })
 			if e.obs != nil {
-				e.scheds[node].SetObserver(e.obs)
+				sched.SetObserver(e.obs)
 			}
 			if e.ninj != nil && e.ninj.Config().Backpressure {
-				e.scheds[node].SetGate(e.prefetchAllowed)
+				sched.SetGate(e.prefetchAllowed)
 			}
+			e.nodes[node].sched = sched
 		}
 	}
 	if e.cfg.AuditEvery > 0 {
@@ -222,6 +246,12 @@ func (e *Engine) Run() *Result {
 	if e.aud != nil {
 		e.aud.Sweep()
 	}
+	return e.collectResult()
+}
+
+// collectResult fills the Result's run-wide measurements once the
+// kernel has drained; shared by the goroutine and compact engines.
+func (e *Engine) collectResult() *Result {
 	e.res.TotalTime = sim.Duration(e.maxFinish)
 	e.res.Cache = e.bcache.Stats()
 	e.res.DiskResponse = e.disks.ResponseStats()
@@ -249,9 +279,9 @@ func (e *Engine) armNodeFaults() {
 		return
 	}
 	if kn, at, ok := e.ninj.Kills(); ok {
-		e.deadProc = make([]bool, e.cfg.Procs)
+		e.killArmed = true
 		e.orphansPosted = sim.NewEvent(e.k).SetLabel("orphaned work posted")
-		e.k.Schedule(sim.Time(at), func() { e.deadProc[kn] = true })
+		e.k.Schedule(sim.Time(at), func() { e.nodes[kn].dead = true })
 	}
 	ncfg := e.ninj.Config()
 	if ncfg.SqueezeAt > 0 {
@@ -320,7 +350,7 @@ func (e *Engine) procBody(p *sim.Proc, node int) {
 	passedGens := 0
 	myReads := 0
 	for {
-		if e.deadProc != nil && e.deadProc[node] {
+		if e.killArmed && e.nodes[node].dead {
 			e.abandon(p, node, ru, myReads)
 			return
 		}
@@ -376,7 +406,7 @@ func (e *Engine) procBody(p *sim.Proc, node int) {
 	if p.Now() > e.maxFinish {
 		e.maxFinish = p.Now()
 	}
-	e.finished[node] = true
+	e.nodes[node].finished = true
 }
 
 // abandon is a killed processor's exit: it unpins what it holds, posts
@@ -389,10 +419,10 @@ func (e *Engine) abandon(p *sim.Proc, node int, ru *ruSet, myReads int) {
 	ru.drain(e.bcache)
 	var orphaned int
 	if e.pat.Kind.Local() {
-		c := e.localCursor[node]
+		c := e.nodes[node].localCursor
 		orphaned = len(e.pat.Local[node]) - c
 		e.orphans = append(e.orphans, e.pat.Local[node][c:]...)
-		e.localCursor[node] = len(e.pat.Local[node])
+		e.nodes[node].localCursor = len(e.pat.Local[node])
 	}
 	e.killErr = fmt.Errorf("core: node %d abandoned %d unread block(s): %w",
 		node, orphaned, fault.ErrProcDead)
@@ -449,11 +479,11 @@ func (e *Engine) nextRead(node int) (idx, block int, ok bool) {
 		e.globalCursor++
 		return idx, e.pat.Global[idx], true
 	}
-	c := e.localCursor[node]
+	c := e.nodes[node].localCursor
 	if c >= len(e.pat.Local[node]) {
 		return 0, 0, false
 	}
-	e.localCursor[node] = c + 1
+	e.nodes[node].localCursor = c + 1
 	return c, e.pat.Local[node][c], true
 }
 
@@ -595,11 +625,11 @@ func (e *Engine) waitEvent(p *sim.Proc, node, block int, ev *sim.Event, deadline
 		return 0
 	}
 	var logical sim.Duration
-	if e.scheds == nil {
+	if e.nodes[node].sched == nil {
 		ev.Wait(p)
 		logical = p.Now().Sub(start)
 	} else {
-		ranAction := e.scheds[node].Wait(ev, deadline)
+		ranAction := e.nodes[node].sched.Wait(ev, deadline)
 		logical = ev.FiredAt().Sub(start)
 		if ranAction {
 			over := p.Now().Sub(ev.FiredAt())
@@ -664,11 +694,11 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 	if !ok {
 		return 0, false
 	}
-	e.actionStart[node] = now
+	e.nodes[node].actionStart = now
 	e.res.PerProc[node].PrefetchAttempts++
 	if e.obs != nil {
 		e.obs.Add(obs.CtrPrefetchActions, 1)
-		e.actionBlock[node] = block
+		e.nodes[node].actionBlock = block
 	}
 	buf, res := e.bcache.AllocatePrefetch(node, block)
 	var cost memory.Cost
@@ -686,7 +716,7 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 		cost = e.cfg.Memory.PrefetchFail
 	}
 	if e.obs != nil {
-		e.actionIssued[node] = res == cache.PrefetchOK
+		e.nodes[node].actionIssued = res == cache.PrefetchOK
 	}
 	others := e.track.Enter()
 	return e.price(node, cost, others), true
@@ -716,16 +746,17 @@ func (e *Engine) price(node int, c memory.Cost, others int) sim.Duration {
 // action's elapsed time is recorded.
 func (e *Engine) finishAction(node int) {
 	e.track.Exit()
-	e.res.PrefetchActionTime.Add(e.k.Now().Sub(e.actionStart[node]).Millis())
+	n := &e.nodes[node]
+	e.res.PrefetchActionTime.Add(e.k.Now().Sub(n.actionStart).Millis())
 	if e.obs != nil {
 		var arg int64
-		if e.actionIssued[node] {
+		if n.actionIssued {
 			arg = 1
 		}
 		e.obs.Span(obs.Span{
 			Track: obs.ProcTrack(node), Kind: obs.SpanPrefetchAction,
-			Start: int64(e.actionStart[node]), End: int64(e.k.Now()),
-			Block: e.actionBlock[node], Arg: arg,
+			Start: int64(n.actionStart), End: int64(e.k.Now()),
+			Block: n.actionBlock, Arg: arg,
 		})
 	}
 }

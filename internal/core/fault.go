@@ -54,7 +54,7 @@ func (e *Engine) failedRead(p *sim.Proc, node int, buf *cache.Buffer, block int,
 	e.trace(Event{T: p.Now(), Node: node, Kind: EvReadRetry, Block: block, Index: -1,
 		Outcome: classifyFault(err), Attempt: *attempts})
 	start := p.Now()
-	p.Advance(e.retry.Backoff(*attempts, e.retryRNG[node]))
+	p.Advance(e.retry.Backoff(*attempts, e.nodes[node].retryRNG))
 	if e.obs != nil {
 		e.obs.Add(obs.CtrReadRetries, 1)
 		e.obs.Span(obs.Span{

@@ -35,20 +35,41 @@ func TestConfigSpaceFuzz(t *testing.T) {
 
 // fuzzCheck builds the invariant checker shared by the fuzz and soak
 // tests.
-func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
-	return func(seed uint64, raw [10]uint8) bool {
+func fuzzCheck(t *testing.T) func(seed uint64, raw [11]uint8) bool {
+	return func(seed uint64, raw [11]uint8) bool {
+		// Every fourth draw runs the compact (goroutine-free) engine at
+		// a bounded cluster size — up to ~5k procs and disks — so the
+		// flat-node state machines, the sharded cache index, and the
+		// timer wheel under load face the same invariants as the
+		// goroutine engine. Compact runs support only global access
+		// patterns and no node-fault injection; those dims are re-drawn
+		// or skipped below.
+		compact := raw[10]%4 == 0
 		kind := pattern.Kinds[int(raw[0])%len(pattern.Kinds)]
+		if compact {
+			kind = []pattern.Kind{pattern.GFP, pattern.GRP, pattern.GW}[int(raw[0])%3]
+		}
 		style := barrier.Styles[int(raw[1])%len(barrier.Styles)]
 		if kind == pattern.LW && style == barrier.PerPortion {
 			style = barrier.None
 		}
 		procs := 2 + int(raw[2])%5 // 2..6
+		if compact {
+			procs = 100 + int(raw[2])*16 // 100..4180
+		}
 		cfg := DefaultConfig(kind)
 		cfg.Procs = procs
 		cfg.Disks = 1 + int(raw[3])%8
 		cfg.Pattern.Procs = procs
 		cfg.Pattern.BlocksPerProc = 10 + int(raw[4])%40
 		cfg.Pattern.TotalBlocks = 40 + int(raw[4])%160
+		if compact {
+			cfg.CompactNodes = true
+			// Disks scale with the machine; a couple of blocks per node
+			// keeps each cluster draw affordable inside a fuzz round.
+			cfg.Disks = 1 + int(raw[3])*16 // 1..4081
+			cfg.Pattern.TotalBlocks = procs * (2 + int(raw[4])%3)
+		}
 		cfg.Pattern.Seed = seed
 		cfg.Seed = seed
 		cfg.Sync = style
@@ -86,20 +107,27 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 		// reshape per-proc accounting and are corner-cased in
 		// TestFuzzSeeds instead.
 		cfg.AuditEvery = 5 * sim.Millisecond
-		if raw[0]%3 == 0 {
-			cfg.NodeFault.Seed = seed
-			cfg.NodeFault.StragglerFactor = 2 + float64(raw[2]%3)
-			cfg.NodeFault.StragglerNode = int(raw[3]) % procs
+		if compact {
+			// A 4k-node compact run sweeps a lot of state per audit; a
+			// sparser cadence keeps the draw inside a fuzz round.
+			cfg.AuditEvery = 200 * sim.Millisecond
 		}
-		if raw[1]%4 == 0 {
-			cfg.NodeFault.Seed = seed
-			cfg.NodeFault.StallRate = 0.03
-		}
-		if cfg.Prefetch && raw[4]%4 == 0 {
-			cfg.NodeFault.Seed = seed
-			cfg.NodeFault.SqueezeAt = 40 * sim.Millisecond
-			cfg.NodeFault.SqueezeFrames = 1
-			cfg.NodeFault.Backpressure = raw[4]%8 == 0
+		if !compact {
+			if raw[0]%3 == 0 {
+				cfg.NodeFault.Seed = seed
+				cfg.NodeFault.StragglerFactor = 2 + float64(raw[2]%3)
+				cfg.NodeFault.StragglerNode = int(raw[3]) % procs
+			}
+			if raw[1]%4 == 0 {
+				cfg.NodeFault.Seed = seed
+				cfg.NodeFault.StallRate = 0.03
+			}
+			if cfg.Prefetch && raw[4]%4 == 0 {
+				cfg.NodeFault.Seed = seed
+				cfg.NodeFault.SqueezeAt = 40 * sim.Millisecond
+				cfg.NodeFault.SqueezeFrames = 1
+				cfg.NodeFault.Backpressure = raw[4]%8 == 0
+			}
 		}
 
 		r, err := Run(cfg)
@@ -163,15 +191,19 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [10]uint8) bool {
 
 // FuzzConfigSpace is the native fuzzing entry over the same invariant
 // checker the quick.Check fuzz drives: the engine's configuration
-// space including the completion-safe node-fault dimensions. CI smokes
+// space including the completion-safe node-fault dimensions and the
+// bounded cluster-scale compact-engine draws (byte 10). CI smokes
 // it briefly (`go test ./internal/core -run=NONE -fuzz=FuzzConfigSpace
 // -fuzztime=30s`); run it longer locally to explore.
 func FuzzConfigSpace(f *testing.F) {
-	f.Add(uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 0})
-	f.Add(uint64(3), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
-	f.Add(uint64(11), []byte{255, 254, 253, 252, 251, 250, 249, 248, 247, 246})
+	f.Add(uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1})
+	f.Add(uint64(3), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint64(11), []byte{255, 254, 253, 252, 251, 250, 249, 248, 247, 246, 245})
+	// A compact cluster draw: byte 10 ≡ 0 (mod 4) routes through the
+	// goroutine-free engine at a few thousand nodes.
+	f.Add(uint64(5), []byte{2, 1, 200, 40, 1, 3, 10, 1, 2, 0, 4})
 	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
-		var fixed [10]uint8
+		var fixed [11]uint8
 		copy(fixed[:], raw)
 		if !fuzzCheck(t)(seed, fixed) {
 			t.Fatalf("engine invariant violated for seed %d raw %v (see log)", seed, fixed)

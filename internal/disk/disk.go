@@ -295,7 +295,14 @@ func (d *Disk) dispatch() {
 func (d *Disk) serveNext(now sim.Time) (req *Request, injected bool) {
 	i := d.pickNext(now)
 	req = d.pending[i]
-	d.pending = append(d.pending[:i], d.pending[i+1:]...)
+	// Remove index i by shifting the prefix right and advancing the
+	// slice base. For FIFO (i == 0, the common case) this moves
+	// nothing; removing by copying the suffix down would move the whole
+	// remaining queue on every serve, which at cluster scale — 100k+
+	// requests deep on a handful of disks — turns the run quadratic.
+	copy(d.pending[1:i+1], d.pending[:i])
+	d.pending[0] = nil
+	d.pending = d.pending[1:]
 	service := d.profile.ServiceTime(d.headPos, req.Physical)
 	if d.inj != nil {
 		service, injected = d.applyFaults(req, service)

@@ -1,0 +1,382 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// ScaleOptions configures the cluster-scale sweep (ROADMAP item 2): the
+// paper stops at 20 PEs / 20 disks, and this study asks whether the
+// prefetch-benefit and contention shapes of Figs. 7/8 extrapolate to
+// 100k-1M nodes. Runs use the compact node engine (core.ScaleConfig):
+// same model, flat per-node state instead of goroutines.
+type ScaleOptions struct {
+	// Nodes are the machine sizes to sweep, ascending. Defaults to
+	// DefaultScaleSizes (100k-1M). The determinism and knee studies run
+	// at Nodes[0], so CI smoke can pass a small leading size.
+	Nodes []int
+	// DiskRatio is the nodes-per-disk ratio for the node sweep. The
+	// paper pairs every processor with a disk (ratio 1) — unaffordable
+	// and unnecessary at 1M nodes; instead the sweep holds this ratio
+	// and scales per-block computation to keep disk utilization at the
+	// paper's ~50% operating point (see computeMean). Default 4.
+	DiskRatio int
+	// BlocksPerNode is the shared reference string's length divided by
+	// the node count. The paper reads 100 blocks per processor; at 1M
+	// nodes that is a 100M-event-class run, so the sweep defaults to 16
+	// — enough cycles that steady-state behavior dominates the t=0
+	// cold-start burst, small enough that the largest cell stays in
+	// minutes of wall clock.
+	BlocksPerNode int
+	// KneeDivisors set the disk counts for the contention-knee study at
+	// Nodes[0]: disks = nodes/divisor, computation fixed at the node
+	// sweep's balance. Small divisors leave the disks half idle; large
+	// ones saturate them, recreating Fig. 7's contention climb. Default
+	// {64, 32, 16, 8, 4, 2, 1} — the knee lands inside the sweep with
+	// flat tail visible after it.
+	KneeDivisors []int
+	// Seed drives all randomness.
+	Seed uint64
+	// EventsPerSecFloor is the S4 throughput floor. Default 50_000.
+	EventsPerSecFloor float64
+	// Progress, if non-nil, observes cell completions.
+	Progress func(done, total int)
+}
+
+// DefaultScaleSizes is the cluster-scale node sweep of the tentpole
+// claim: two decades past the paper's 20 processors.
+func DefaultScaleSizes() []int { return []int{100_000, 250_000, 500_000, 1_000_000} }
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	if len(o.Nodes) == 0 {
+		o.Nodes = DefaultScaleSizes()
+	}
+	if o.DiskRatio == 0 {
+		o.DiskRatio = 4
+	}
+	if o.BlocksPerNode == 0 {
+		o.BlocksPerNode = 16
+	}
+	if len(o.KneeDivisors) == 0 {
+		o.KneeDivisors = []int{64, 32, 16, 8, 4, 2, 1}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.EventsPerSecFloor == 0 {
+		o.EventsPerSecFloor = 50_000
+	}
+	return o
+}
+
+// disksFor sizes the node sweep's disk array.
+func (o ScaleOptions) disksFor(nodes int) int {
+	d := nodes / o.DiskRatio
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// computeMean balances the machine at the sweep's disk ratio: with a
+// per-block demand of DiskAccess every (DiskAccess + compute), setting
+// compute = (2·ratio − 1)·DiskAccess puts each disk's utilization at
+// ratio·DiskAccess/(DiskAccess+compute) = 50%, the paper's balanced
+// operating point — busy enough for contention to be real, idle enough
+// that prefetching has bandwidth to win with.
+func (o ScaleOptions) computeMean(access sim.Duration) sim.Duration {
+	return sim.Duration(2*o.DiskRatio-1) * access
+}
+
+// ScaleRow is one measured cell of the sweep.
+type ScaleRow struct {
+	Nodes        int
+	Disks        int
+	Prefetch     bool
+	TotalMillis  float64 // virtual completion time
+	ReadMean     float64 // mean block read time (ms)
+	DiskResponse float64 // mean disk response time (ms)
+	HitRatio     float64
+	Events       int64   // kernel events dispatched
+	WallSeconds  float64 // host wall clock for the run
+	EventsPerSec float64 // Events / WallSeconds
+	BytesPerNode float64 // retained-heap delta across the run / Nodes
+}
+
+// ScaleResult carries the cluster-scale study: the node sweep (with and
+// without prefetching), the disk-contention knee study, and rendered
+// figures extending Figs. 7/8 beyond the paper's axis.
+type ScaleResult struct {
+	Rows []ScaleRow // node sweep, (no-prefetch, prefetch) per size
+	Knee []ScaleRow // disk sweep at Nodes[0], prefetching
+
+	// DiskAccessMillis is the raw per-block disk service time the sweep
+	// ran with; KneeIndex uses it as the contention floor.
+	DiskAccessMillis float64
+
+	TotalTime    *metrics.Figure // total execution time vs nodes
+	Improvement  *metrics.Figure // % exec-time reduction vs nodes
+	Throughput   *metrics.Figure // simulator events/sec vs nodes
+	BytesPerNode *metrics.Figure // retained bytes per node vs nodes
+	DiskKnee     *metrics.Figure // Fig. 7 extrapolation: response vs disks
+}
+
+// Table renders the sweep as text.
+func (r *ScaleResult) Table() string {
+	tb := &metrics.Table{Header: []string{
+		"nodes", "disks", "prefetch", "total (ms)", "read (ms)",
+		"disk resp (ms)", "hit", "events", "events/sec", "B/node"}}
+	rows := append(append([]ScaleRow{}, r.Rows...), r.Knee...)
+	for _, row := range rows {
+		tb.AddRow(
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Disks),
+			fmt.Sprintf("%v", row.Prefetch),
+			fmt.Sprintf("%.0f", row.TotalMillis),
+			fmt.Sprintf("%.2f", row.ReadMean),
+			fmt.Sprintf("%.2f", row.DiskResponse),
+			fmt.Sprintf("%.3f", row.HitRatio),
+			fmt.Sprintf("%d", row.Events),
+			fmt.Sprintf("%.0f", row.EventsPerSec),
+			fmt.Sprintf("%.0f", row.BytesPerNode),
+		)
+	}
+	return tb.String()
+}
+
+// runScaleCell executes one compact-engine run and measures it. Cells
+// run strictly serially: bytes/node is a heap-delta measurement, so the
+// process must not host a second concurrent engine, and a 1M-node run
+// is itself parallel inside the kernel when SimWorkers > 1.
+func runScaleCell(nodes, disks int, prefetch bool, blocks int, compute sim.Duration, seed uint64) ScaleRow {
+	cfg := core.ScaleConfig(nodes, disks, prefetch)
+	cfg.Seed = seed
+	cfg.Pattern.Seed = seed
+	cfg.Pattern.TotalBlocks = blocks
+	cfg.ComputeMean = compute
+	sink := &obs.CounterSink{}
+	cfg.Obs = sink
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := core.MustRun(cfg)
+	wall := time.Since(start).Seconds()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	events := sink.Snapshot()[obs.CtrKernelEvents]
+	row := ScaleRow{
+		Nodes:        nodes,
+		Disks:        disks,
+		Prefetch:     prefetch,
+		TotalMillis:  res.TotalTimeMillis(),
+		ReadMean:     res.ReadTime.Mean(),
+		DiskResponse: res.DiskResponse.Mean(),
+		HitRatio:     res.HitRatio(),
+		Events:       events,
+		WallSeconds:  wall,
+	}
+	if wall > 0 {
+		row.EventsPerSec = float64(events) / wall
+	}
+	// The delta brackets engine construction and the run, after the
+	// engine itself is garbage: what one run durably cost. Peaks are
+	// higher; the budget claim is about state per node, which is what
+	// survives collection mid-run.
+	if after.HeapAlloc > before.HeapAlloc {
+		row.BytesPerNode = float64(after.HeapAlloc-before.HeapAlloc) / float64(nodes)
+	}
+	return row
+}
+
+// RunScaleSweep runs the cluster-scale study.
+func RunScaleSweep(opts ScaleOptions) *ScaleResult {
+	opts = opts.withDefaults()
+	r := &ScaleResult{
+		TotalTime: &metrics.Figure{
+			Title:  "Scale — Total execution time vs nodes (gw, compact engine)",
+			XLabel: "nodes",
+			YLabel: "total execution time (ms)",
+		},
+		Improvement: &metrics.Figure{
+			Title:  "Scale — Prefetching benefit vs nodes (Fig. 8 extrapolation)",
+			XLabel: "nodes",
+			YLabel: "% reduction in total execution time",
+		},
+		Throughput: &metrics.Figure{
+			Title:  "Scale — Simulator throughput vs nodes",
+			XLabel: "nodes",
+			YLabel: "kernel events per wall-clock second",
+		},
+		BytesPerNode: &metrics.Figure{
+			Title:  "Scale — Retained memory per node vs nodes",
+			XLabel: "nodes",
+			YLabel: "bytes per node",
+		},
+		DiskKnee: &metrics.Figure{
+			Title:  "Scale — Disk response time vs disks (Fig. 7 extrapolation)",
+			XLabel: "disks",
+			YLabel: "average disk response time (ms)",
+		},
+	}
+	pf := r.TotalTime.AddSeries("prefetch", 'P')
+	np := r.TotalTime.AddSeries("no prefetch", 'N')
+	imp := r.Improvement.AddSeries("gw", 'o')
+	thr := r.Throughput.AddSeries("prefetch", 'P')
+	bpn := r.BytesPerNode.AddSeries("prefetch", 'P')
+	knee := r.DiskKnee.AddSeries("prefetch", 'P')
+
+	total := 2*len(opts.Nodes) + len(opts.KneeDivisors)
+	done := 0
+	tick := func() {
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, total)
+		}
+	}
+	access := core.DefaultConfig(pattern.GW).DiskAccess
+	compute := opts.computeMean(access)
+	r.DiskAccessMillis = access.Millis()
+
+	for _, n := range opts.Nodes {
+		base := runScaleCell(n, opts.disksFor(n), false, n*opts.BlocksPerNode, compute, opts.Seed)
+		tick()
+		with := runScaleCell(n, opts.disksFor(n), true, n*opts.BlocksPerNode, compute, opts.Seed)
+		tick()
+		r.Rows = append(r.Rows, base, with)
+		x := float64(n)
+		np.Add(x, base.TotalMillis)
+		pf.Add(x, with.TotalMillis)
+		imp.Add(x, metrics.PercentReduction(base.TotalMillis, with.TotalMillis))
+		thr.Add(x, with.EventsPerSec)
+		bpn.Add(x, with.BytesPerNode)
+	}
+	for _, div := range opts.KneeDivisors {
+		d := opts.Nodes[0] / div
+		if d < 1 {
+			d = 1
+		}
+		row := runScaleCell(opts.Nodes[0], d, true, opts.Nodes[0]*opts.BlocksPerNode, compute, opts.Seed)
+		tick()
+		r.Knee = append(r.Knee, row)
+		knee.Add(float64(d), row.DiskResponse)
+	}
+	return r
+}
+
+// KneeIndex locates the contention knee in the disk study: the first
+// point where the mean disk response falls below twice the raw access
+// time — queueing wait has dropped below service time, so the curve has
+// left its contention-dominated steep region and entered the flat
+// service-time floor of Fig. 7. Returns -1 if the curve never gets
+// there within the swept range.
+func (r *ScaleResult) KneeIndex() int {
+	for i, row := range r.Knee {
+		if row.DiskResponse < 2*r.DiskAccessMillis {
+			return i
+		}
+	}
+	return -1
+}
+
+// VerifyScaleClaims machine-checks the cluster-scale claims S1-S4 on
+// top of a fresh sweep:
+//
+//	S1  determinism at scale — a 100k-node-class run is byte-identical
+//	    across repetition and SimWorkers 1 vs 2
+//	S2  the prefetch benefit persists at every swept size
+//	S3  disk contention has a knee: response time falls steeply with
+//	    disk count, then flattens within the swept range
+//	S4  throughput stays above the events/sec floor at every size,
+//	    and retained state stays under 1 KB per node
+func VerifyScaleClaims(opts ScaleOptions) (*Verification, *ScaleResult) {
+	opts = opts.withDefaults()
+	v := &Verification{}
+	add := func(id, claim, measured string, pass bool) {
+		v.Claims = append(v.Claims, Claim{ID: id, Paper: claim, Measured: measured, Pass: pass})
+	}
+
+	// S1: determinism at the sweep's leading size. The compact engine
+	// promises identical Results for the same seed at any SimWorkers;
+	// compare full marshaled Results, not summaries.
+	n0 := opts.Nodes[0]
+	marshal := func(simWorkers int) []byte {
+		cfg := core.ScaleConfig(n0, opts.disksFor(n0), true)
+		cfg.Seed = opts.Seed
+		cfg.Pattern.Seed = opts.Seed
+		cfg.Pattern.TotalBlocks = n0 * opts.BlocksPerNode
+		cfg.ComputeMean = opts.computeMean(cfg.DiskAccess)
+		cfg.SimWorkers = simWorkers
+		b, err := json.Marshal(core.MustRun(cfg))
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	a, b, c := marshal(1), marshal(1), marshal(2)
+	add("S1-determinism",
+		fmt.Sprintf("a %d-node run is deterministic (repeat and SimWorkers 1 vs 2)", n0),
+		fmt.Sprintf("result JSON %d bytes; repeat equal: %v, workers equal: %v",
+			len(a), bytes.Equal(a, b), bytes.Equal(a, c)),
+		bytes.Equal(a, b) && bytes.Equal(a, c))
+
+	sweep := RunScaleSweep(opts)
+
+	// S2: prefetch benefit at every size.
+	worstExec, worstRead := 1e18, 1e18
+	for i := 0; i+1 < len(sweep.Rows); i += 2 {
+		base, with := sweep.Rows[i], sweep.Rows[i+1]
+		if d := metrics.PercentReduction(base.TotalMillis, with.TotalMillis); d < worstExec {
+			worstExec = d
+		}
+		if d := metrics.PercentReduction(base.ReadMean, with.ReadMean); d < worstRead {
+			worstRead = d
+		}
+	}
+	add("S2-benefit-persists",
+		"prefetching keeps reducing read and total time at every swept size",
+		fmt.Sprintf("worst exec reduction %+.1f%%, worst read reduction %+.1f%%", worstExec, worstRead),
+		worstExec > 0 && worstRead > 0)
+
+	// S3: the contention knee. Fig. 7's shape — response time driven by
+	// queueing on too few disks — must extrapolate: steep fall, then a
+	// flat region inside the swept disk range.
+	ki := sweep.KneeIndex()
+	first, last := sweep.Knee[0].DiskResponse, sweep.Knee[len(sweep.Knee)-1].DiskResponse
+	measured := "no knee within swept range"
+	if ki >= 0 {
+		measured = fmt.Sprintf("knee at %d disks; response %.1f -> %.1f ms over sweep",
+			sweep.Knee[ki].Disks, first, last)
+	}
+	add("S3-contention-knee", "disk response falls steeply with disks, then flattens (knee)",
+		measured, ki >= 1 && first > 2*last)
+
+	// S4: throughput floor and the per-node memory budget.
+	minThr, maxBPN := 1e18, 0.0
+	for _, row := range append(append([]ScaleRow{}, sweep.Rows...), sweep.Knee...) {
+		if row.EventsPerSec < minThr {
+			minThr = row.EventsPerSec
+		}
+		if row.BytesPerNode > maxBPN {
+			maxBPN = row.BytesPerNode
+		}
+	}
+	add("S4-throughput-floor",
+		fmt.Sprintf("every run sustains >= %.0f events/sec at < 1 KB retained per node", opts.EventsPerSecFloor),
+		fmt.Sprintf("min %.0f events/sec, max %.0f bytes/node", minThr, maxBPN),
+		minThr >= opts.EventsPerSecFloor && maxBPN < 1024)
+
+	return v, sweep
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeScaleOptions keeps the cluster-scale machinery honest at a size
+// unit tests can afford: the claims and plumbing are identical, only
+// the node counts shrink.
+func smokeScaleOptions() ScaleOptions {
+	return ScaleOptions{
+		Nodes: []int{2000, 4000},
+		Seed:  1,
+		// Tiny runs spend most wall clock outside the kernel loop, so
+		// hold them to a token floor only.
+		EventsPerSecFloor: 1,
+	}
+}
+
+func TestScaleSweepShapes(t *testing.T) {
+	r := RunScaleSweep(smokeScaleOptions())
+	if len(r.Rows) != 4 {
+		t.Fatalf("want 4 sweep rows, got %d", len(r.Rows))
+	}
+	if len(r.Knee) != 7 {
+		t.Fatalf("want 7 knee rows, got %d", len(r.Knee))
+	}
+	for i := 0; i+1 < len(r.Rows); i += 2 {
+		base, with := r.Rows[i], r.Rows[i+1]
+		if base.Prefetch || !with.Prefetch {
+			t.Fatalf("row pair %d not (no-prefetch, prefetch)", i)
+		}
+		if base.Nodes != with.Nodes {
+			t.Fatalf("row pair %d mixes sizes", i)
+		}
+		if with.TotalMillis >= base.TotalMillis {
+			t.Errorf("%d nodes: prefetch total %.0f ms not below base %.0f ms",
+				base.Nodes, with.TotalMillis, base.TotalMillis)
+		}
+		if with.HitRatio < 0.5 {
+			t.Errorf("%d nodes: prefetch hit ratio %.3f implausibly low", with.Nodes, with.HitRatio)
+		}
+		if base.Events <= 0 || with.Events <= 0 {
+			t.Errorf("%d nodes: missing kernel event counts", base.Nodes)
+		}
+	}
+	// More disks must not worsen contention: the knee sweep should be
+	// (weakly) improving and strictly better end to end.
+	if first, last := r.Knee[0].DiskResponse, r.Knee[len(r.Knee)-1].DiskResponse; last >= first {
+		t.Errorf("disk response did not improve across knee sweep: %.2f -> %.2f", first, last)
+	}
+	if r.KneeIndex() < 0 {
+		t.Errorf("no contention knee found within the default divisor sweep")
+	}
+	if !strings.Contains(r.Table(), "events/sec") {
+		t.Errorf("table missing throughput column:\n%s", r.Table())
+	}
+}
+
+func TestVerifyScaleClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale claims run many simulations")
+	}
+	v, sweep := VerifyScaleClaims(smokeScaleOptions())
+	if len(v.Claims) != 4 {
+		t.Fatalf("want 4 claims, got %d", len(v.Claims))
+	}
+	for _, c := range v.Claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Paper, c.Measured)
+		}
+	}
+	if sweep == nil || len(sweep.Rows) == 0 {
+		t.Fatalf("verification returned no sweep")
+	}
+}

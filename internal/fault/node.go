@@ -164,9 +164,16 @@ func NewNodes(cfg NodeConfig, procs int) *NodeInjector {
 	if cfg.StallRate > 0 && cfg.StallMean == 0 {
 		cfg.StallMean = defaultStallMean
 	}
-	ni := &NodeInjector{cfg: cfg, streams: make([]*rng.Source, procs)}
-	for n := range ni.streams {
-		ni.streams[n] = rng.New(cfg.Seed, nodeStreamBase+uint64(n))
+	ni := &NodeInjector{cfg: cfg}
+	// Streams feed only the transient-stall draws; a stall-free
+	// injector (straggler, kill, or just the backpressure gate) skips
+	// the per-processor allocation — at cluster scale those streams
+	// would cost more memory than the whole compact node state.
+	if cfg.StallRate > 0 {
+		ni.streams = make([]*rng.Source, procs)
+		for n := range ni.streams {
+			ni.streams[n] = rng.New(cfg.Seed, nodeStreamBase+uint64(n))
+		}
 	}
 	return ni
 }

@@ -104,6 +104,25 @@ func Free() Model {
 	return Model{Hit: c, Miss: c, PrefetchAction: c, PrefetchFail: c, RemoteBuffer: Cost{}}
 }
 
+// Uncontended returns Default with the contention term removed: every
+// operation costs its calibrated base price regardless of how many
+// other processors are in the I/O subsystem. This models a file system
+// whose shared state is sharded per node (hash-partitioned buffer map,
+// per-node free lists) instead of the Butterfly's single contention
+// domain — the only regime in which a 100k+-node machine is buildable
+// at all, and the model the cluster-scale sweep runs under so that disk
+// queueing, not a deliberately unscalable memory term, is what it
+// measures.
+func Uncontended() Model {
+	m := Default()
+	m.Hit.PerActive = 0
+	m.Miss.PerActive = 0
+	m.PrefetchAction.PerActive = 0
+	m.PrefetchFail.PerActive = 0
+	m.RemoteBuffer.PerActive = 0
+	return m
+}
+
 // Tracker counts processors currently active in the I/O subsystem and
 // records the distribution of that count over operations. It is the
 // "contention for internal data structures" signal fed to Cost.At.

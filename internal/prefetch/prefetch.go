@@ -27,6 +27,9 @@ type Policy struct {
 	pat  *pattern.Pattern
 	lead int
 
+	// monotone enables the forward-only scan cursor (see SetMonotone).
+	monotone bool
+
 	states []stringState // one per process (local) or a single shared one (global)
 }
 
@@ -34,6 +37,10 @@ type stringState struct {
 	str        []int
 	portions   []pattern.Portion
 	nextDemand int // lowest reference-string index not yet demanded
+	// scanFrom, in monotone mode, is the lowest index at or above
+	// nextDemand that could be uncached: every index in
+	// [nextDemand, scanFrom) was verified in-cache by an earlier scan.
+	scanFrom int
 }
 
 // NewPolicy builds the policy for a pattern with the given minimum
@@ -56,6 +63,28 @@ func NewPolicy(pat *pattern.Pattern, lead int) *Policy {
 
 // Lead returns the configured minimum prefetch lead.
 func (p *Policy) Lead() int { return p.lead }
+
+// SetMonotone enables a forward-only scan cursor: indices a scan has
+// verified in-cache are never re-examined, turning Select from a walk
+// over every cached-ahead entry (O(prefetch buffers) per call — the
+// quadratic term that dominates cluster-scale runs) into an amortized
+// O(1) cursor advance.
+//
+// The optimization is exact — byte-identical selections — only when a
+// block at an index at or above the demand cursor can never leave the
+// cache, and the string never repeats a block. The engine enables it
+// exactly when it can guarantee both: a global pattern (generators
+// emit each block once), the oracle policy (unconsumed prefetched
+// frames are not evictable), no fault injection (no failed fills
+// silently demoting prefetched blocks, no capacity squeezes retiring
+// frames), and zero lead (a lead window makes verified ranges
+// non-contiguous). Panics if the policy has a lead.
+func (p *Policy) SetMonotone(on bool) {
+	if on && p.lead != 0 {
+		panic("prefetch: monotone scan requires zero lead")
+	}
+	p.monotone = on
+}
 
 func (p *Policy) stateFor(node int) *stringState {
 	if p.pat.Kind.Local() {
@@ -115,25 +144,39 @@ func (p *Policy) Select(node int, inCache func(block int) bool) (block, idx int,
 	}
 	limit := st.horizon(regular)
 	start := st.nextDemand + p.lead
-	if block, idx, ok = scan(st.str, start, limit, inCache); ok {
+	if block, idx, ok = p.scan(st, start, limit, inCache); ok {
 		return block, idx, true
 	}
 	// Near the end of the string the lead window may be empty; the paper
 	// relaxes the restriction there so the tail can still be prefetched.
 	if p.lead > 0 && start > limit-1 {
-		return scan(st.str, st.nextDemand, limit, inCache)
+		return p.scan(st, st.nextDemand, limit, inCache)
 	}
 	return 0, 0, false
 }
 
-func scan(str []int, from, to int, inCache func(int) bool) (block, idx int, ok bool) {
+// scan walks [from, to) of the state's string for the first uncached
+// block. In monotone mode it starts no earlier than the verified-cached
+// cursor and advances the cursor past everything it verifies; the
+// returned index itself stays below the cursor, since the caller's
+// prefetch of it may still fail.
+func (p *Policy) scan(st *stringState, from, to int, inCache func(int) bool) (block, idx int, ok bool) {
 	if from < 0 {
 		from = 0
 	}
+	if p.monotone && st.scanFrom > from {
+		from = st.scanFrom
+	}
 	for i := from; i < to; i++ {
-		if !inCache(str[i]) {
-			return str[i], i, true
+		if !inCache(st.str[i]) {
+			if p.monotone {
+				st.scanFrom = i
+			}
+			return st.str[i], i, true
 		}
+	}
+	if p.monotone && to > st.scanFrom {
+		st.scanFrom = to
 	}
 	return 0, 0, false
 }

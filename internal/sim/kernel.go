@@ -37,7 +37,7 @@ type Waiter interface {
 // process logic blocks.
 type Kernel struct {
 	now     Time
-	heap    eventHeap
+	heap    timerWheel
 	seq     uint64
 	procs   []*Proc
 	running bool

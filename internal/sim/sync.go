@@ -12,6 +12,13 @@ type WaitQueue struct {
 	label string
 	procs []*Proc
 	head  int // index of the longest-waiting process
+
+	// Continuation-API waiters (AddWaiter). They are woken after the
+	// blocked processes, each via a scheduled wake event so a wakeup
+	// costs the same sequence-number budget as a process resumption —
+	// an engine that mixes both styles stays deterministic.
+	ws     []Waiter
+	wsHead int
 }
 
 // NewWaitQueue returns an empty wait queue on kernel k.
@@ -35,8 +42,8 @@ func (q *WaitQueue) Label() string {
 	return q.label
 }
 
-// Len reports how many processes are blocked on the queue.
-func (q *WaitQueue) Len() int { return len(q.procs) - q.head }
+// Len reports how many processes and waiters are blocked on the queue.
+func (q *WaitQueue) Len() int { return len(q.procs) - q.head + len(q.ws) - q.wsHead }
 
 // Sleep blocks the process until it is woken, returning the time spent
 // blocked.
@@ -47,24 +54,45 @@ func (q *WaitQueue) Sleep(p *Proc) Duration {
 	return p.k.now.Sub(start)
 }
 
-// WakeOne releases the longest-waiting process, if any, and reports
-// whether one was released.
-func (q *WaitQueue) WakeOne() bool {
-	if q.head == len(q.procs) {
-		return false
-	}
-	p := q.procs[q.head]
-	q.procs[q.head] = nil
-	q.head++
-	if q.head == len(q.procs) {
-		q.procs = q.procs[:0]
-		q.head = 0
-	}
-	q.k.scheduleStep(p)
-	return true
+// AddWaiter blocks a continuation-API waiter until it is woken: the
+// counterpart of Sleep for state machines that have no process. The
+// waiter's Wake runs from a scheduled event at the wake instant, not
+// inline, mirroring how a woken process resumes.
+func (q *WaitQueue) AddWaiter(w Waiter) {
+	q.ws = append(q.ws, w)
 }
 
-// WakeAll releases every blocked process in FIFO order.
+// WakeOne releases the longest-waiting process — or, with no blocked
+// processes, the longest-waiting waiter — and reports whether anything
+// was released.
+func (q *WaitQueue) WakeOne() bool {
+	if q.head < len(q.procs) {
+		p := q.procs[q.head]
+		q.procs[q.head] = nil
+		q.head++
+		if q.head == len(q.procs) {
+			q.procs = q.procs[:0]
+			q.head = 0
+		}
+		q.k.scheduleStep(p)
+		return true
+	}
+	if q.wsHead < len(q.ws) {
+		w := q.ws[q.wsHead]
+		q.ws[q.wsHead] = nil
+		q.wsHead++
+		if q.wsHead == len(q.ws) {
+			q.ws = q.ws[:0]
+			q.wsHead = 0
+		}
+		q.k.ScheduleWake(q.k.now, w)
+		return true
+	}
+	return false
+}
+
+// WakeAll releases every blocked process, then every waiter, in FIFO
+// order.
 func (q *WaitQueue) WakeAll() {
 	for i := q.head; i < len(q.procs); i++ {
 		q.k.scheduleStep(q.procs[i])
@@ -72,6 +100,12 @@ func (q *WaitQueue) WakeAll() {
 	}
 	q.procs = q.procs[:0]
 	q.head = 0
+	for i := q.wsHead; i < len(q.ws); i++ {
+		q.k.ScheduleWake(q.k.now, q.ws[i])
+		q.ws[i] = nil
+	}
+	q.ws = q.ws[:0]
+	q.wsHead = 0
 }
 
 // Semaphore is a counting semaphore in virtual time.

@@ -144,6 +144,12 @@ type (
 	SuitePair = experiment.Pair
 	// SuiteSummary aggregates a suite into the paper's headline numbers.
 	SuiteSummary = experiment.Summary
+
+	// ScaleOptions configures the cluster-scale sweep (100k-1M nodes on
+	// the compact engine).
+	ScaleOptions = experiment.ScaleOptions
+	// ScaleResult carries the cluster-scale sweep's rows and figures.
+	ScaleResult = experiment.ScaleResult
 )
 
 // The six parallel file access patterns (§IV-B), plus the hybrid
@@ -215,6 +221,14 @@ func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 // MustRun executes one experiment, panicking on configuration errors.
 func MustRun(cfg Config) *Result { return core.MustRun(cfg) }
 
+// ScaleConfig returns a cluster-scale configuration: nodes processor
+// nodes over disks disks on the compact (goroutine-free) engine, with
+// the uncontended memory model and two prefetch buffers per node. The
+// base for 100k-1M node runs; see RunScaleSweep for the full study.
+func ScaleConfig(nodes, disks int, prefetch bool) Config {
+	return core.ScaleConfig(nodes, disks, prefetch)
+}
+
 // PaperScale returns the paper's full-size experiment options.
 func PaperScale() SuiteOptions { return experiment.PaperScale() }
 
@@ -281,6 +295,24 @@ func RunFaultSweep(opts SuiteOptions, rates []float64) *experiment.FaultSweepRes
 
 // DefaultFaultRates is the standard fault-rate sweep (0 through 10%).
 func DefaultFaultRates() []float64 { return experiment.DefaultFaultRates() }
+
+// DefaultScaleSizes is the cluster-scale node sweep (100k-1M nodes),
+// two decades past the paper's 20 processors.
+func DefaultScaleSizes() []int { return experiment.DefaultScaleSizes() }
+
+// RunScaleSweep runs the cluster-scale study on the compact node
+// engine: total time with and without prefetching across the node
+// sweep, plus the disk-contention knee study (Figs. 7/8 extrapolation).
+func RunScaleSweep(opts ScaleOptions) *ScaleResult {
+	return experiment.RunScaleSweep(opts)
+}
+
+// VerifyScaleClaims machine-checks the cluster-scale claims S1-S4
+// (determinism, persistent prefetch benefit, contention knee,
+// throughput and memory budget) and returns the sweep they ran on.
+func VerifyScaleClaims(opts ScaleOptions) (*experiment.Verification, *ScaleResult) {
+	return experiment.VerifyScaleClaims(opts)
+}
 
 // VerifyFaultClaims machine-checks the robustness extension's claims
 // (determinism, clean-path identity, fault cost, prefetch masking, and
