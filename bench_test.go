@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 var (
@@ -375,6 +376,49 @@ func BenchmarkClusterScale(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(perNode, "bytes/node")
+}
+
+// BenchmarkTelemetryOverhead prices the windowed telemetry sink at
+// cluster scale: the same 100k-node run as BenchmarkClusterScale with
+// no sink, with the windowed sink, and with the windowed sink plus a
+// 64-node full-fidelity sample. The telemetry acceptance bar is the
+// off→windowed gap staying under 5% of wall clock; compare the arms'
+// ns/op (the CI bench A/B step records both sides).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const nodes = 100_000
+	arms := []struct {
+		name string
+		sink func() obs.Sink
+	}{
+		{"off", func() obs.Sink { return nil }},
+		{"windowed", func() obs.Sink {
+			return telemetry.New(telemetry.Config{Nodes: nodes, FlightSpans: -1})
+		}},
+		{"windowed-sampled64", func() obs.Sink {
+			return telemetry.New(telemetry.Config{Nodes: nodes, SampleK: 64, FlightSpans: -1})
+		}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			var windows int
+			for i := 0; i < b.N; i++ {
+				cfg := ScaleConfig(nodes, nodes/4, true)
+				cfg.Pattern.TotalBlocks = 16 * nodes
+				cfg.ComputeMean = 7 * cfg.DiskAccess
+				sink := arm.sink()
+				cfg.Obs = sink
+				r := MustRun(cfg)
+				runtime.KeepAlive(r)
+				if tel, ok := sink.(*telemetry.Sink); ok {
+					windows = len(tel.Windows())
+					if windows == 0 {
+						b.Fatal("telemetry sink saw no windows")
+					}
+				}
+			}
+			b.ReportMetric(float64(windows), "windows")
+		})
+	}
 }
 
 // BenchmarkExtPredictorStudy runs the on-the-fly prediction study (the

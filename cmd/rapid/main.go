@@ -18,6 +18,7 @@ import (
 
 	rapid "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/trace"
 )
 
@@ -62,6 +63,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		spansFile   = fs.String("trace-out", "", "write the observability span trace to this file")
 		perfFile    = fs.String("perfetto", "", "write a Perfetto trace-event JSON to this file")
 		timeline    = fs.Bool("timeline", false, "print the ASCII span timeline")
+		telJSON     = fs.String("telemetry", "", "write the windowed telemetry snapshot JSON to this file")
+		telCSV      = fs.String("telemetry-csv", "", "write the windowed telemetry time series CSV to this file")
+		telWindow   = fs.Float64("telemetry-window", 100, "telemetry window width in ms of virtual time")
+		sampleK     = fs.Int("sample", 0, "sample K seed-hashed nodes at full fidelity (0 = 16 when a sample output is set)")
+		sampleOut   = fs.String("sample-out", "", "write the sampled nodes' span trace to this file")
+		samplePerf  = fs.String("sample-perfetto", "", "write the sampled nodes' Perfetto trace to this file")
 		perProcOut  = fs.Bool("procstats", false, "print per-process statistics")
 		hist        = fs.Bool("hist", false, "print the block read time distribution")
 		asJSON      = fs.Bool("json", false, "emit the full result as JSON")
@@ -156,6 +163,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		spans = obs.NewRecorder()
 		cfg.Obs = spans
 	}
+	var tel *telemetry.Sink
+	if *telJSON != "" || *telCSV != "" || *sampleK > 0 || *sampleOut != "" || *samplePerf != "" {
+		if spans != nil {
+			return fmt.Errorf("telemetry flags cannot be combined with the full-trace flags (-trace-out, -perfetto, -timeline); the run has one sink")
+		}
+		k := *sampleK
+		if k == 0 && (*sampleOut != "" || *samplePerf != "") {
+			k = 16
+		}
+		tel = telemetry.New(telemetry.Config{
+			Window:     int64(rapid.Millis(*telWindow)),
+			SampleK:    k,
+			Nodes:      *procs,
+			SampleSeed: *seed,
+		})
+		cfg.Obs = tel
+	}
 	res, err := rapid.Run(cfg)
 	if err != nil {
 		return err
@@ -227,7 +251,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprint(stdout, spans.Timeline(obs.TimelineOptions{}))
 		}
 	}
+	if tel != nil {
+		sn := tel.Snapshot()
+		if *telJSON != "" {
+			if err := writeFile(*telJSON, sn.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "telemetry: %d windows -> %s\n", len(sn.Windows), *telJSON)
+		}
+		if *telCSV != "" {
+			if err := writeFile(*telCSV, sn.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "telemetry: %d windows -> %s\n", len(sn.Windows), *telCSV)
+		}
+		if rec := tel.Sampled(); rec != nil {
+			if *sampleOut != "" {
+				if err := writeFile(*sampleOut, func(w io.Writer) error {
+					_, err := rec.WriteTo(w)
+					return err
+				}); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "sample: nodes %v, %d spans -> %s\n", tel.SampleIDs(), len(rec.Spans), *sampleOut)
+			}
+			if *samplePerf != "" {
+				if err := writeFile(*samplePerf, rec.WritePerfetto); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "sample: nodes %v, %d spans -> %s\n", tel.SampleIDs(), len(rec.Spans), *samplePerf)
+			}
+		}
+	}
 	return nil
+}
+
+// writeFile creates path, streams write into it, and closes it,
+// returning the first error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func totalReads(kind rapid.PatternKind, blocks, perProc, procs int) int {

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -22,12 +23,13 @@ func main() {
 	var (
 		scale      = flag.String("scale", "paper", "experiment scale: paper, test, or cluster (100k-1M node compact-engine sweep)")
 		scaleNodes = flag.String("scale-nodes", "", "comma-separated node counts for -scale cluster (default 100000,250000,500000,1000000)")
+		telemetry  = flag.Bool("telemetry", false, "with -scale cluster: attach the windowed telemetry sink (plus a 16-node sample) to the leading prefetch cell and write its time series and sampled trace to -csv")
 		csvDir     = flag.String("csv", "", "directory to write per-figure CSV data")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		simW     = flag.Int("sim-workers", 1, "parallel-kernel workers inside each simulation (1 = serial kernel; results identical at any value)")
-		progress = flag.Bool("progress", false, "report run completions to stderr")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		simW       = flag.Int("sim-workers", 1, "parallel-kernel workers inside each simulation (1 = serial kernel; results identical at any value)")
+		progress   = flag.Bool("progress", false, "report run completions to stderr")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
 	)
 	flag.Parse()
 
@@ -49,8 +51,12 @@ func main() {
 	}
 
 	if *scale == "cluster" {
-		runCluster(*scaleNodes, *csvDir, *progress, *memProf)
+		runCluster(*scaleNodes, *csvDir, *telemetry, *progress, *memProf)
 		return
+	}
+	if *telemetry {
+		fmt.Fprintln(os.Stderr, "suite: -telemetry only applies to -scale cluster")
+		os.Exit(1)
 	}
 
 	var opts rapid.SuiteOptions
@@ -141,8 +147,8 @@ func main() {
 // 100k-1M node sweep on the compact engine, the disk-contention knee
 // study, and the S1-S4 claim checks. Runs are strictly serial — each
 // cell's bytes/node is a whole-process heap measurement.
-func runCluster(nodesCSV, csvDir string, progress bool, memProf string) {
-	opts := rapid.ScaleOptions{}
+func runCluster(nodesCSV, csvDir string, telemetry, progress bool, memProf string) {
+	opts := rapid.ScaleOptions{Telemetry: telemetry}
 	if nodesCSV != "" {
 		for _, tok := range strings.Split(nodesCSV, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -191,6 +197,34 @@ func runCluster(nodesCSV, csvDir string, progress bool, memProf string) {
 			}
 		}
 		fmt.Printf("\nwrote %d CSV files to %s\n", len(figs), csvDir)
+
+		if sweep.Telemetry != nil {
+			write := func(name string, fn func(io.Writer) error) {
+				path := filepath.Join(csvDir, name)
+				f, err := os.Create(path)
+				if err == nil {
+					err = fn(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "suite:", err)
+					os.Exit(1)
+				}
+			}
+			write("scale_timeseries.csv", sweep.Telemetry.WriteCSV)
+			write("scale_timeseries.json", sweep.Telemetry.WriteJSON)
+			if rec := sweep.SampledTrace; rec != nil {
+				write("scale_sample.spans", func(w io.Writer) error {
+					_, err := rec.WriteTo(w)
+					return err
+				})
+				write("scale_sample.perfetto.json", rec.WritePerfetto)
+			}
+			fmt.Printf("telemetry: %d windows, sampled nodes %v -> %s\n",
+				len(sweep.Telemetry.Windows), sweep.Telemetry.SampleNodes, csvDir)
+		}
 	}
 
 	writeMemProfile(memProf)

@@ -14,6 +14,8 @@
 //	trace perfetto -o run.json run.spans       export Perfetto trace-event JSON
 //	trace verify  run.json|run.spans           validate Perfetto JSON structure
 //	trace diff    a.spans b.spans              accounting diff (b relative to a)
+//	trace timeseries run.telemetry.json        sparklines + per-window table of a
+//	                                           windowed telemetry snapshot
 //
 // Examples:
 //
@@ -31,7 +33,9 @@ import (
 	"strings"
 
 	rapid "repro"
+	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 func main() {
@@ -45,12 +49,14 @@ func main() {
 // with arbitrary arguments and capture its output.
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: trace {record|summary|timeline|dump|perfetto|verify|diff} [flags] [files]")
+		return fmt.Errorf("usage: trace {record|summary|timeline|dump|perfetto|verify|diff|timeseries} [flags] [files]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "record":
 		return cmdRecord(rest, stdout, stderr)
+	case "timeseries":
+		return cmdTimeseries(rest, stdout, stderr)
 	case "summary":
 		return cmdSummary(rest, stdout, stderr)
 	case "timeline":
@@ -345,6 +351,111 @@ func cmdVerify(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s: %s\n", path, summary)
+	return nil
+}
+
+// cmdTimeseries renders a windowed telemetry snapshot (the JSON
+// written by `rapid -telemetry` or `suite -scale cluster -telemetry`)
+// as sparklines over the whole run plus a per-window table — the
+// at-a-glance view that locates a contention knee or a rate collapse
+// inside a cluster-scale run without opening a spreadsheet.
+func cmdTimeseries(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace timeseries", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		width = fs.Int("width", 72, "sparkline columns")
+		rows  = fs.Int("n", 24, "table rows (0 = all windows; a longer run is downsampled by striding)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeseries: want exactly one telemetry snapshot JSON file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sn, err := telemetry.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	n := len(sn.Windows)
+	fmt.Fprintf(stdout, "%d windows of %.1f ms virtual time (%.1f ms total)\n",
+		n, float64(sn.WindowMicros)/1000, float64(sn.WindowMicros)*float64(n)/1000)
+	if len(sn.SampleNodes) > 0 {
+		fmt.Fprintf(stdout, "sampled nodes: %v\n", sn.SampleNodes)
+	}
+
+	series := func(f func(w *telemetry.Window) float64) []float64 {
+		vals := make([]float64, n)
+		for i := range sn.Windows {
+			vals[i] = f(&sn.Windows[i])
+		}
+		return vals
+	}
+	spark := func(label string, vals []float64) {
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(stdout, "  %-18s %s  [%.3g .. %.3g]\n", label, metrics.Sparkline(vals, *width), lo, hi)
+	}
+	if n > 0 {
+		spark("events/sec", series(func(w *telemetry.Window) float64 {
+			return sn.Rate(w.Ctrs[obs.CtrKernelEvents])
+		}))
+		spark("hit rate", series(func(w *telemetry.Window) float64 {
+			if r := w.HitRate(); r >= 0 {
+				return r
+			}
+			return 0
+		}))
+		spark("prefetch/sec", series(func(w *telemetry.Window) float64 {
+			return sn.Rate(w.Ctrs[obs.CtrCachePrefetchesIssued])
+		}))
+		spark("demand wait µs", series(func(w *telemetry.Window) float64 {
+			return float64(w.Dur[obs.SpanDemandWait])
+		}))
+		spark("disk queue p95 µs", series(func(w *telemetry.Window) float64 {
+			return float64(w.Quantile(0, 0.95))
+		}))
+	}
+
+	stride := 1
+	if *rows > 0 && n > *rows {
+		stride = (n + *rows - 1) / *rows
+	}
+	tb := &metrics.Table{Header: []string{
+		"window", "start ms", "events/s", "hit", "pf/s",
+		"demand ms", "sync ms", "queue p95 ms"}}
+	for i := 0; i < n; i += stride {
+		w := &sn.Windows[i]
+		hit := "-"
+		if r := w.HitRate(); r >= 0 {
+			hit = fmt.Sprintf("%.3f", r)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", w.Index),
+			fmt.Sprintf("%.1f", float64(w.Index*sn.WindowMicros)/1000),
+			fmt.Sprintf("%.0f", sn.Rate(w.Ctrs[obs.CtrKernelEvents])),
+			hit,
+			fmt.Sprintf("%.0f", sn.Rate(w.Ctrs[obs.CtrCachePrefetchesIssued])),
+			fmt.Sprintf("%.1f", float64(w.Dur[obs.SpanDemandWait])/1000),
+			fmt.Sprintf("%.1f", float64(w.Dur[obs.SpanSyncWait])/1000),
+			fmt.Sprintf("%.2f", float64(w.Quantile(0, 0.95))/1000),
+		)
+	}
+	fmt.Fprint(stdout, tb.String())
+	if stride > 1 {
+		fmt.Fprintf(stdout, "(every %dth window of %d; -n 0 for all)\n", stride, n)
+	}
 	return nil
 }
 

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	rapid "repro"
+	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 func runCmd(t *testing.T, args ...string) (stdout string, err error) {
@@ -131,5 +136,114 @@ func TestRecordDeterministic(t *testing.T) {
 	}
 	if len(da) == 0 {
 		t.Fatal("empty trace recorded")
+	}
+}
+
+// TestMalformedTraceErrors drives each flavor of broken trace file
+// through the summary subcommand and checks that the command fails
+// with the named error class from internal/obs — a partial scp or a
+// trace from a newer build must be a loud, diagnosable failure, not a
+// silently shorter accounting.
+func TestMalformedTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	good, err := os.ReadFile(record(t, dir, "good.spans"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(good), "\n"), "\n")
+	if len(lines) < 10 || !strings.HasPrefix(lines[len(lines)-1], "end ") {
+		t.Fatalf("recorded trace unusable as fixture: %d lines", len(lines))
+	}
+
+	cases := []struct {
+		name    string
+		content string
+		want    error // nil: any error will do
+	}{
+		{"empty", "", obs.ErrNotTrace},
+		{"not-a-trace", "hello world\nspan 1 2 3\n", obs.ErrNotTrace},
+		{"future-version", "# rapidtrace v2\nspan proc/0 0 0 10 compute 0\nend 1 0\n",
+			obs.ErrTraceVersion},
+		{"missing-trailer", strings.Join(lines[:len(lines)-1], "\n") + "\n",
+			obs.ErrTraceTruncated},
+		{"cut-mid-stream", strings.Join(lines[:len(lines)/2], "\n") + "\n",
+			obs.ErrTraceTruncated},
+		{"count-mismatch", strings.Join(lines[:len(lines)-1], "\n") + "\nend 1 0\n",
+			obs.ErrTraceTruncated},
+		{"garbage-record", lines[0] + "\nspan what\n", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := runCmd(t, "summary", path)
+			if err == nil {
+				t.Fatal("summary accepted a malformed trace")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}
+
+// TestTimeseriesSubcommand exercises the sparkline/table rendering of
+// a telemetry snapshot end to end through the CLI: a snapshot written
+// by rapid -telemetry must round-trip into a readable report, and a
+// non-snapshot file must be rejected.
+func TestTimeseriesSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "run.telemetry.json")
+	// cmd/trace has no telemetry-producing subcommand; synthesize the
+	// snapshot through the library exactly as cmd/rapid does.
+	writeTelemetrySnapshot(t, snap)
+
+	out, err := runCmd(t, "timeseries", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"windows of", "events/sec", "hit rate", "start ms", "queue p95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeseries output missing %q:\n%s", want, out)
+		}
+	}
+
+	bogus := filepath.Join(dir, "bogus.json")
+	if err := os.WriteFile(bogus, []byte(`{"windowMicros": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCmd(t, "timeseries", bogus); err == nil {
+		t.Fatal("timeseries accepted a snapshot with no window width")
+	}
+	if _, err := runCmd(t, "timeseries"); err == nil {
+		t.Fatal("timeseries accepted zero file arguments")
+	}
+}
+
+// writeTelemetrySnapshot runs a small experiment with the windowed
+// telemetry sink attached and writes its snapshot JSON to path.
+func writeTelemetrySnapshot(t *testing.T, path string) {
+	t.Helper()
+	tel := telemetry.New(telemetry.Config{Window: 50_000, Nodes: 4})
+	cfg := rapid.DefaultConfig(rapid.GW)
+	cfg.Procs, cfg.Disks, cfg.Pattern.Procs = 4, 4, 4
+	cfg.Pattern.TotalBlocks = 120
+	cfg.Prefetch = true
+	cfg.Obs = tel
+	if _, err := rapid.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tel.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -42,10 +42,11 @@ func TestAbandonedWaiterPanicsWithName(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected deadlock panic")
 		}
-		msg, ok := r.(string)
+		derr, ok := r.(*sim.DeadlockError)
 		if !ok {
-			t.Fatalf("panic value %T, want string", r)
+			t.Fatalf("panic value %T, want *sim.DeadlockError", r)
 		}
+		msg := derr.Error()
 		for _, want := range []string{"deadlock", "reader-3", "disk I/O completion"} {
 			if !strings.Contains(msg, want) {
 				t.Errorf("deadlock message %q does not name %q", msg, want)

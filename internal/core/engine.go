@@ -187,6 +187,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Obs != nil {
 		e.obs = cfg.Obs
+		// A sink that understands virtual time (telemetry.Sink) gets
+		// the kernel clock, so counter increments — which carry no
+		// timestamp of their own — can be attributed to the window
+		// they occur in rather than the last span seen.
+		if ck, ok := cfg.Obs.(interface{ SetClock(func() int64) }); ok {
+			ck.SetClock(func() int64 { return int64(k.Now()) })
+		}
 		k.SetObserver(cfg.Obs)
 		e.disks.SetObserver(cfg.Obs)
 		e.bcache.SetObserver(cfg.Obs)
@@ -215,6 +222,7 @@ func New(cfg Config) (*Engine, error) {
 // Run executes the experiment to completion and returns the collected
 // measurements. It must be called at most once per Engine.
 func (e *Engine) Run() *Result {
+	defer e.dumpFlightOnPanic()
 	if e.cfg.CompactNodes {
 		return e.runCompact()
 	}
@@ -247,6 +255,29 @@ func (e *Engine) Run() *Result {
 		e.aud.Sweep()
 	}
 	return e.collectResult()
+}
+
+// flightDumper is implemented by sinks that keep a crash flight
+// recorder (telemetry.Sink). Discovered by assertion so core does not
+// depend on the telemetry package.
+type flightDumper interface{ DumpFlight(cause any) }
+
+// dumpFlightOnPanic gives the observability sink its last word when a
+// run dies: any panic crossing Engine.Run — the kernel's deadlock
+// detector, an audit Violation, an LP executor failure, a compact-node
+// stall — is handed to the sink's flight recorder before being
+// re-raised, so cluster-scale failures arrive with their last-N-events
+// context instead of a bare stack. Deferred from Run so it covers both
+// engines and every panic path through the kernel.
+func (e *Engine) dumpFlightOnPanic() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if fd, ok := e.obs.(flightDumper); ok {
+		fd.DumpFlight(r)
+	}
+	panic(r)
 }
 
 // collectResult fills the Result's run-wide measurements once the

@@ -156,8 +156,8 @@ func TestProcKillWithoutTimeoutDeadlocks(t *testing.T) {
 		if r == nil {
 			t.Fatal("kill without barrier timeout did not deadlock")
 		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "barrier release") {
+		derr, ok := r.(*sim.DeadlockError)
+		if !ok || !strings.Contains(derr.Error(), "barrier release") {
 			t.Fatalf("unexpected panic: %v", r)
 		}
 	}()
@@ -184,7 +184,7 @@ func TestBackpressureBoundsBufferHunt(t *testing.T) {
 		if r == nil {
 			t.Fatal("gated kill run did not deadlock cleanly")
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "deadlock") {
+		if _, ok := r.(*sim.DeadlockError); !ok {
 			t.Fatalf("unexpected panic: %v", r)
 		}
 	}()

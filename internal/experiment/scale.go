@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/pattern"
 	"repro/internal/sim"
 )
@@ -50,6 +51,19 @@ type ScaleOptions struct {
 	EventsPerSecFloor float64
 	// Progress, if non-nil, observes cell completions.
 	Progress func(done, total int)
+
+	// Telemetry attaches a windowed telemetry sink to the sweep's
+	// leading prefetch cell (Nodes[0]) and stores its snapshot and the
+	// sampled full-fidelity trace on the ScaleResult. Per claim S5, the
+	// sink never changes any Result byte — it only adds the windowed
+	// view.
+	Telemetry bool
+	// TelemetryWindow is the aggregation window in virtual µs
+	// (0 = telemetry.DefaultWindow, 100 ms of sim time).
+	TelemetryWindow int64
+	// SampleK is the number of nodes recorded at full fidelity when
+	// Telemetry is on (0 = 16).
+	SampleK int
 }
 
 // DefaultScaleSizes is the cluster-scale node sweep of the tentpole
@@ -74,6 +88,9 @@ func (o ScaleOptions) withDefaults() ScaleOptions {
 	}
 	if o.EventsPerSecFloor == 0 {
 		o.EventsPerSecFloor = 50_000
+	}
+	if o.Telemetry && o.SampleK == 0 {
+		o.SampleK = 16
 	}
 	return o
 }
@@ -119,6 +136,12 @@ type ScaleResult struct {
 	Rows []ScaleRow // node sweep, (no-prefetch, prefetch) per size
 	Knee []ScaleRow // disk sweep at Nodes[0], prefetching
 
+	// Telemetry and SampledTrace are set when ScaleOptions.Telemetry is
+	// on: the windowed time series of the Nodes[0] prefetch cell and
+	// the full-fidelity trace of its K sampled nodes.
+	Telemetry    *telemetry.Snapshot
+	SampledTrace *obs.Recorder
+
 	// DiskAccessMillis is the raw per-block disk service time the sweep
 	// ran with; KneeIndex uses it as the contention floor.
 	DiskAccessMillis float64
@@ -156,15 +179,24 @@ func (r *ScaleResult) Table() string {
 // runScaleCell executes one compact-engine run and measures it. Cells
 // run strictly serially: bytes/node is a heap-delta measurement, so the
 // process must not host a second concurrent engine, and a 1M-node run
-// is itself parallel inside the kernel when SimWorkers > 1.
-func runScaleCell(nodes, disks int, prefetch bool, blocks int, compute sim.Duration, seed uint64) ScaleRow {
+// is itself parallel inside the kernel when SimWorkers > 1. tel, when
+// non-nil, replaces the cell's counter sink with a windowed telemetry
+// sink (the counters it needs are a subset of what telemetry keeps).
+func runScaleCell(nodes, disks int, prefetch bool, blocks int, compute sim.Duration, seed uint64, tel *telemetry.Sink) ScaleRow {
 	cfg := core.ScaleConfig(nodes, disks, prefetch)
 	cfg.Seed = seed
 	cfg.Pattern.Seed = seed
 	cfg.Pattern.TotalBlocks = blocks
 	cfg.ComputeMean = compute
-	sink := &obs.CounterSink{}
-	cfg.Obs = sink
+	var totals func() obs.Counters
+	if tel != nil {
+		cfg.Obs = tel
+		totals = tel.Totals
+	} else {
+		sink := &obs.CounterSink{}
+		cfg.Obs = sink
+		totals = sink.Snapshot
+	}
 
 	runtime.GC()
 	var before runtime.MemStats
@@ -176,7 +208,7 @@ func runScaleCell(nodes, disks int, prefetch bool, blocks int, compute sim.Durat
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
-	events := sink.Snapshot()[obs.CtrKernelEvents]
+	events := totals()[obs.CtrKernelEvents]
 	row := ScaleRow{
 		Nodes:        nodes,
 		Disks:        disks,
@@ -250,11 +282,27 @@ func RunScaleSweep(opts ScaleOptions) *ScaleResult {
 	compute := opts.computeMean(access)
 	r.DiskAccessMillis = access.Millis()
 
-	for _, n := range opts.Nodes {
-		base := runScaleCell(n, opts.disksFor(n), false, n*opts.BlocksPerNode, compute, opts.Seed)
+	for i, n := range opts.Nodes {
+		base := runScaleCell(n, opts.disksFor(n), false, n*opts.BlocksPerNode, compute, opts.Seed, nil)
 		tick()
-		with := runScaleCell(n, opts.disksFor(n), true, n*opts.BlocksPerNode, compute, opts.Seed)
+		// The leading prefetch cell carries the telemetry sink: it is
+		// the size the determinism and knee studies run at, so its time
+		// series is the one worth exporting.
+		var tel *telemetry.Sink
+		if opts.Telemetry && i == 0 {
+			tel = telemetry.New(telemetry.Config{
+				Window:     opts.TelemetryWindow,
+				SampleK:    opts.SampleK,
+				Nodes:      n,
+				SampleSeed: opts.Seed,
+			})
+		}
+		with := runScaleCell(n, opts.disksFor(n), true, n*opts.BlocksPerNode, compute, opts.Seed, tel)
 		tick()
+		if tel != nil {
+			r.Telemetry = tel.Snapshot()
+			r.SampledTrace = tel.Sampled()
+		}
 		r.Rows = append(r.Rows, base, with)
 		x := float64(n)
 		np.Add(x, base.TotalMillis)
@@ -268,7 +316,7 @@ func RunScaleSweep(opts ScaleOptions) *ScaleResult {
 		if d < 1 {
 			d = 1
 		}
-		row := runScaleCell(opts.Nodes[0], d, true, opts.Nodes[0]*opts.BlocksPerNode, compute, opts.Seed)
+		row := runScaleCell(opts.Nodes[0], d, true, opts.Nodes[0]*opts.BlocksPerNode, compute, opts.Seed, nil)
 		tick()
 		r.Knee = append(r.Knee, row)
 		knee.Add(float64(d), row.DiskResponse)
@@ -301,6 +349,9 @@ func (r *ScaleResult) KneeIndex() int {
 //	    disk count, then flattens within the swept range
 //	S4  throughput stays above the events/sec floor at every size,
 //	    and retained state stays under 1 KB per node
+//	S5  telemetry invariance — the windowed telemetry sink (windows,
+//	    histograms, sampling, flight recorder) leaves the Result
+//	    byte-identical to a sink-free run
 func VerifyScaleClaims(opts ScaleOptions) (*Verification, *ScaleResult) {
 	opts = opts.withDefaults()
 	v := &Verification{}
@@ -312,25 +363,50 @@ func VerifyScaleClaims(opts ScaleOptions) (*Verification, *ScaleResult) {
 	// promises identical Results for the same seed at any SimWorkers;
 	// compare full marshaled Results, not summaries.
 	n0 := opts.Nodes[0]
-	marshal := func(simWorkers int) []byte {
+	marshal := func(simWorkers int, sink obs.Sink) []byte {
 		cfg := core.ScaleConfig(n0, opts.disksFor(n0), true)
 		cfg.Seed = opts.Seed
 		cfg.Pattern.Seed = opts.Seed
 		cfg.Pattern.TotalBlocks = n0 * opts.BlocksPerNode
 		cfg.ComputeMean = opts.computeMean(cfg.DiskAccess)
 		cfg.SimWorkers = simWorkers
+		cfg.Obs = sink
 		b, err := json.Marshal(core.MustRun(cfg))
 		if err != nil {
 			panic(err)
 		}
 		return b
 	}
-	a, b, c := marshal(1), marshal(1), marshal(2)
+	a, b, c := marshal(1, nil), marshal(1, nil), marshal(2, nil)
 	add("S1-determinism",
 		fmt.Sprintf("a %d-node run is deterministic (repeat and SimWorkers 1 vs 2)", n0),
 		fmt.Sprintf("result JSON %d bytes; repeat equal: %v, workers equal: %v",
 			len(a), bytes.Equal(a, b), bytes.Equal(a, c)),
 		bytes.Equal(a, b) && bytes.Equal(a, c))
+
+	// S5: telemetry invariance. A full telemetry sink — windows,
+	// histograms, node sampling, flight recorder — observes the same
+	// run, and the Result must not move by a byte: aggregation is a
+	// pure fold over the emission stream, never a feedback path. (The
+	// PR-4 identity guarantee, extended to the telemetry sink at
+	// cluster scale.)
+	sampleK := opts.SampleK
+	if sampleK == 0 {
+		sampleK = 16 // exercise the sampling path even when the sweep runs without -telemetry
+	}
+	tel := telemetry.New(telemetry.Config{
+		Window:     opts.TelemetryWindow,
+		SampleK:    sampleK,
+		Nodes:      n0,
+		SampleSeed: opts.Seed,
+	})
+	telBytes := marshal(1, tel)
+	telSane := len(tel.Windows()) > 0 && tel.Totals()[obs.CtrKernelEvents] > 0
+	add("S5-telemetry-invariant",
+		fmt.Sprintf("a %d-node run with the windowed telemetry sink is byte-identical to the sink-free run", n0),
+		fmt.Sprintf("result JSON equal: %v; sink saw %d windows, %d kernel events",
+			bytes.Equal(a, telBytes), len(tel.Windows()), tel.Totals()[obs.CtrKernelEvents]),
+		bytes.Equal(a, telBytes) && telSane)
 
 	sweep := RunScaleSweep(opts)
 

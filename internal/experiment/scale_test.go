@@ -63,8 +63,8 @@ func TestVerifyScaleClaims(t *testing.T) {
 		t.Skip("scale claims run many simulations")
 	}
 	v, sweep := VerifyScaleClaims(smokeScaleOptions())
-	if len(v.Claims) != 4 {
-		t.Fatalf("want 4 claims, got %d", len(v.Claims))
+	if len(v.Claims) != 5 {
+		t.Fatalf("want 5 claims, got %d", len(v.Claims))
 	}
 	for _, c := range v.Claims {
 		if !c.Pass {

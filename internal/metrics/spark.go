@@ -1,0 +1,57 @@
+package metrics
+
+import "strings"
+
+// sparkGlyphs are the eight block glyphs of a sparkline, lowest to
+// highest.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a one-line block-glyph strip of at most
+// width cells, scaled to the series' own [min, max] range. A series
+// longer than width is downsampled by averaging equal slices, so the
+// shape survives compression; NaN-free input is assumed. An empty
+// series or non-positive width renders as "".
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = downsample(vals, width)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[i])
+	}
+	return b.String()
+}
+
+// downsample folds vals into n equal-share buckets by mean.
+func downsample(vals []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := i * len(vals) / n
+		b := (i + 1) * len(vals) / n
+		if b == a {
+			b = a + 1
+		}
+		var sum float64
+		for _, v := range vals[a:b] {
+			sum += v
+		}
+		out[i] = sum / float64(b-a)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	if got := Sparkline([]float64{1, 2}, 0); got != "" {
+		t.Errorf("zero width rendered %q", got)
+	}
+	// A flat series renders all-low, not a divide-by-zero artifact.
+	flat := Sparkline([]float64{5, 5, 5}, 10)
+	if flat != "▁▁▁" {
+		t.Errorf("flat series = %q, want three low cells", flat)
+	}
+	// A ramp is monotone: each glyph at least its predecessor.
+	ramp := []rune(Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 10))
+	if len(ramp) != 8 {
+		t.Fatalf("ramp has %d cells, want 8", len(ramp))
+	}
+	for i := 1; i < len(ramp); i++ {
+		if ramp[i] < ramp[i-1] {
+			t.Fatalf("ramp not monotone: %q", string(ramp))
+		}
+	}
+	if ramp[0] != '▁' || ramp[len(ramp)-1] != '█' {
+		t.Errorf("ramp endpoints %q, want min and max glyphs", string(ramp))
+	}
+	// Longer than width: downsampled to exactly width cells.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i % 97)
+	}
+	s := Sparkline(long, 40)
+	if utf8.RuneCountInString(s) != 40 {
+		t.Errorf("downsampled sparkline has %d cells, want 40", utf8.RuneCountInString(s))
+	}
+	for _, r := range s {
+		if !strings.ContainsRune(string(sparkGlyphs), r) {
+			t.Fatalf("unexpected glyph %q", r)
+		}
+	}
+}

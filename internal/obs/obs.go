@@ -241,6 +241,10 @@ const (
 // fixed array.
 const NumCounters = int(numCounters)
 
+// NumSpanKinds is the size of the span-kind set, for sinks that keep
+// per-kind aggregates in a fixed array.
+const NumSpanKinds = int(numSpanKinds)
+
 var counterNames = [numCounters]string{
 	"kernel-events", "kernel-wakes", "kernel-steps", "kernel-spawns",
 	"disk-requests", "disk-prefetch-requests", "disk-faulted-requests",

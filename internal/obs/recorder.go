@@ -2,12 +2,30 @@ package obs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+)
+
+// Named classes of trace-read failure, for callers (cmd/trace) that
+// want to distinguish "not a trace at all" from "a trace we cannot
+// read" from "a trace that lost its tail". Test with errors.Is; the
+// wrapped error carries the line detail.
+var (
+	// ErrNotTrace means the input does not start with a rapidtrace
+	// header — it is some other kind of file, or empty.
+	ErrNotTrace = errors.New("not a rapidtrace file")
+	// ErrTraceVersion means the input is a rapidtrace file of a format
+	// version this build does not read.
+	ErrTraceVersion = errors.New("unsupported rapidtrace version")
+	// ErrTraceTruncated means the trace ended before its end trailer,
+	// or the trailer's record counts disagree with the records read —
+	// the file lost its tail (partial write, interrupted copy).
+	ErrTraceTruncated = errors.New("truncated rapidtrace file")
 )
 
 // Recorder is a Sink that retains every span and counter increment in
@@ -60,17 +78,25 @@ func (r *Recorder) Tracks() []Track {
 }
 
 // traceHeader identifies the span-trace text format. Version bumps
-// when the line grammar changes incompatibly.
-const traceHeader = "# rapidtrace v1"
+// when the line grammar changes incompatibly. headerPrefix is the
+// family marker shared by all versions, used to tell a wrong-version
+// trace apart from a file that is not a trace at all.
+const (
+	traceHeader  = "# rapidtrace v1"
+	headerPrefix = "# rapidtrace "
+)
 
 // WriteTo serializes the trace in a line-oriented text format:
 //
 //	# rapidtrace v1
 //	span <track> <kind> <start> <end> <block> <arg>
 //	ctr <name> <value>
+//	end <nspans> <nctrs>
 //
 // Spans appear in emission order (sorted by end time within a track by
-// construction), counters sorted by name. The format round-trips
+// construction), counters sorted by name. The end trailer carries the
+// record counts so Read can detect a file that lost its tail — without
+// it, truncation at a line boundary is silent. The format round-trips
 // through Read and is stable across runs of the same configuration,
 // which is what the determinism test pins.
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
@@ -90,12 +116,17 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	nctrs := 0
 	for c, v := range r.Counters {
 		if v != 0 {
 			if err := put("ctr %s %d\n", Counter(c), v); err != nil {
 				return n, err
 			}
+			nctrs++
 		}
+	}
+	if err := put("end %d %d\n", len(r.Spans), nctrs); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }
@@ -121,13 +152,19 @@ func ParseTrack(s string) (Track, error) {
 	return Track{kind, id}, nil
 }
 
-// Read parses a trace previously written by WriteTo.
+// Read parses a trace previously written by WriteTo. Failures wrap
+// one of the named error classes: ErrNotTrace when the header is
+// absent, ErrTraceVersion for a header from a different format
+// version, and ErrTraceTruncated when the end trailer is missing or
+// disagrees with the records read.
 func Read(rd io.Reader) (*Recorder, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	rec := NewRecorder()
 	lineNo := 0
 	sawHeader := false
+	sawEnd := false
+	nctrs := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -136,10 +173,18 @@ func Read(rd io.Reader) (*Recorder, error) {
 		}
 		if !sawHeader {
 			if line != traceHeader {
-				return nil, fmt.Errorf("obs: line 1: missing %q header", traceHeader)
+				if strings.HasPrefix(line, headerPrefix) {
+					return nil, fmt.Errorf("obs: %w: got %q, this build reads %q",
+						ErrTraceVersion, line, traceHeader)
+				}
+				return nil, fmt.Errorf("obs: %w: line 1 is %.40q, want %q header",
+					ErrNotTrace, line, traceHeader)
 			}
 			sawHeader = true
 			continue
+		}
+		if sawEnd {
+			return nil, fmt.Errorf("obs: line %d: record after end trailer", lineNo)
 		}
 		fields := strings.Fields(line)
 		switch fields[0] {
@@ -180,6 +225,21 @@ func Read(rd io.Reader) (*Recorder, error) {
 				return nil, fmt.Errorf("obs: line %d: bad number %q", lineNo, fields[2])
 			}
 			rec.Counters[c] = v
+			nctrs++
+		case "end":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("obs: line %d: end wants 2 operands, got %d", lineNo, len(fields)-1)
+			}
+			wantSpans, err1 := strconv.Atoi(fields[1])
+			wantCtrs, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("obs: line %d: bad end trailer %q", lineNo, line)
+			}
+			if wantSpans != len(rec.Spans) || wantCtrs != nctrs {
+				return nil, fmt.Errorf("obs: %w: trailer promises %d spans and %d counters, read %d and %d",
+					ErrTraceTruncated, wantSpans, wantCtrs, len(rec.Spans), nctrs)
+			}
+			sawEnd = true
 		default:
 			return nil, fmt.Errorf("obs: line %d: unknown record %q", lineNo, fields[0])
 		}
@@ -188,7 +248,10 @@ func Read(rd io.Reader) (*Recorder, error) {
 		return nil, err
 	}
 	if !sawHeader {
-		return nil, fmt.Errorf("obs: empty trace")
+		return nil, fmt.Errorf("obs: %w: empty input", ErrNotTrace)
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("obs: %w: no end trailer after %d records", ErrTraceTruncated, lineNo)
 	}
 	return rec, nil
 }

@@ -1,0 +1,65 @@
+package telemetry
+
+import "sort"
+
+// SampleNodes deterministically selects k of n node IDs by hashed
+// rank: each node's priority is a splitmix64-style hash of (seed,
+// node), and the k smallest priorities win, ties broken by node ID.
+// The selection depends only on (seed, n, k) — repeat runs sample
+// identical nodes, and growing k from 16 to 64 keeps the first 16
+// picks (the priority order is fixed), so zooming in on a run refines
+// the same sample rather than replacing it.
+func SampleNodes(seed uint64, n, k int) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	type ranked struct {
+		pri  uint64
+		node int
+	}
+	// Keep the k best seen so far in a simple max-at-end slice: n is at
+	// most ~1M and k is tiny (≤64 in practice), so insertion into a
+	// sorted k-slice beats heap constant factors and stays obvious.
+	best := make([]ranked, 0, k)
+	worse := func(a, b ranked) bool {
+		if a.pri != b.pri {
+			return a.pri > b.pri
+		}
+		return a.node > b.node
+	}
+	for node := 0; node < n; node++ {
+		r := ranked{splitmix64(seed + uint64(node)*0x9E3779B97F4A7C15), node}
+		if len(best) < k {
+			best = append(best, r)
+			for i := len(best) - 1; i > 0 && worse(best[i-1], best[i]); i-- {
+				best[i-1], best[i] = best[i], best[i-1]
+			}
+			continue
+		}
+		if worse(best[k-1], r) {
+			best[k-1] = r
+			for i := k - 1; i > 0 && worse(best[i-1], best[i]); i-- {
+				best[i-1], best[i] = best[i], best[i-1]
+			}
+		}
+	}
+	ids := make([]int, len(best))
+	for i, r := range best {
+		ids[i] = r.node
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong
+// 64-bit mix with no dependencies, the standard choice for hashing
+// small integers into uniform priorities.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

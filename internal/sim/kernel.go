@@ -305,7 +305,7 @@ func (k *Kernel) Run() {
 	}
 	k.stopExecutors()
 	if k.active > 0 {
-		panic(k.deadlockMessage())
+		panic(k.deadlockError())
 	}
 }
 
@@ -378,31 +378,61 @@ func (k *Kernel) Audit() error {
 	return nil
 }
 
-// deadlockMessage names every live blocked process and the condition it
+// BlockedProc describes one live blocked process at deadlock time.
+type BlockedProc struct {
+	Name    string // the process's diagnostic name
+	Waiting string // the condition it blocked on ("" if unlabelled)
+}
+
+// DeadlockError is the panic value Run raises when live processes
+// remain blocked with no pending events. It is a typed error rather
+// than a bare string so recover-side machinery — the telemetry flight
+// recorder, test harnesses — can recognize a deadlock structurally and
+// reach the blocked-process details; its Error text is the same
+// diagnostic the kernel has always printed.
+type DeadlockError struct {
+	// Active is the total number of live blocked processes.
+	Active int
+	// Blocked names up to 8 of them, in process-creation order, with
+	// the condition each waits on.
+	Blocked []BlockedProc
+}
+
+// Error names every recorded blocked process and the condition it
 // waits on, so a stuck simulation points directly at the culprit.
-func (k *Kernel) deadlockMessage() string {
+func (e *DeadlockError) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sim: deadlock — %d process(es) still blocked with no pending events:", k.active)
+	fmt.Fprintf(&b, "sim: deadlock — %d process(es) still blocked with no pending events:", e.Active)
+	for i, p := range e.Blocked {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		reason := p.Waiting
+		if reason == "" {
+			reason = "an unknown condition"
+		}
+		fmt.Fprintf(&b, "%s %s (waiting on %s)", sep, p.Name, reason)
+	}
+	if more := e.Active - len(e.Blocked); more > 0 {
+		fmt.Fprintf(&b, ", … and %d more", more)
+	}
+	return b.String()
+}
+
+// deadlockError collects the live blocked processes into the typed
+// panic value.
+func (k *Kernel) deadlockError() *DeadlockError {
+	err := &DeadlockError{Active: k.active}
 	const maxNamed = 8
-	named := 0
 	for _, p := range k.procs {
 		if p.done {
 			continue
 		}
-		if named == maxNamed {
-			fmt.Fprintf(&b, ", … and %d more", k.active-named)
+		if len(err.Blocked) == maxNamed {
 			break
 		}
-		sep := ","
-		if named == 0 {
-			sep = ""
-		}
-		reason := p.waiting
-		if reason == "" {
-			reason = "an unknown condition"
-		}
-		fmt.Fprintf(&b, "%s %s (waiting on %s)", sep, p.name, reason)
-		named++
+		err.Blocked = append(err.Blocked, BlockedProc{Name: p.name, Waiting: p.waiting})
 	}
-	return b.String()
+	return err
 }

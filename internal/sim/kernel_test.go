@@ -484,10 +484,15 @@ func TestDeadlockPanicNamesProcesses(t *testing.T) {
 		if r == nil {
 			t.Fatal("deadlocked run did not panic")
 		}
-		msg, ok := r.(string)
+		derr, ok := r.(*DeadlockError)
 		if !ok {
-			t.Fatalf("panic value %T, want string", r)
+			t.Fatalf("panic value %T, want *DeadlockError", r)
 		}
+		if derr.Active != 2 || len(derr.Blocked) != 2 {
+			t.Errorf("DeadlockError has Active=%d Blocked=%v, want 2 and 2 entries",
+				derr.Active, derr.Blocked)
+		}
+		msg := derr.Error()
 		for _, want := range []string{
 			"2 process(es)",
 			"proc3 (waiting on disk I/O completion)",
@@ -508,11 +513,14 @@ func TestDeadlockPanicTruncatesLongList(t *testing.T) {
 		k.Spawn(fmt.Sprintf("w%d", i), 0, func(p *Proc) { ev.Wait(p) })
 	}
 	defer func() {
-		msg, _ := recover().(string)
-		if msg == "" {
-			t.Fatal("expected string panic")
+		derr, _ := recover().(*DeadlockError)
+		if derr == nil {
+			t.Fatal("expected *DeadlockError panic")
 		}
-		if !strings.Contains(msg, "… and 4 more") {
+		if len(derr.Blocked) != 8 {
+			t.Errorf("DeadlockError records %d processes, want 8", len(derr.Blocked))
+		}
+		if msg := derr.Error(); !strings.Contains(msg, "… and 4 more") {
 			t.Errorf("deadlock message %q should truncate after 8 entries", msg)
 		}
 	}()
