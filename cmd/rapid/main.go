@@ -58,6 +58,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		procSlow    = fs.Float64("proc-slow", 0, "slow the last processor by this factor (0 or 1 = healthy)")
 		procKillMS  = fs.Float64("proc-kill-at", 0, "kill processor 0 at this virtual time in ms (0 = never)")
 		barrierTO   = fs.Float64("barrier-timeout", 0, "barrier quorum-release timeout in ms (0 = wait forever)")
+		racks       = fs.Int("racks", 0, "split disks and processors into this many named failure domains rack0..rackN-1 (0 = no domains)")
+		rackKill    = fs.String("rack-kill", "", "kill every disk and processor of this rack at -rack-kill-at")
+		rackKillMS  = fs.Float64("rack-kill-at", 0, "virtual time of the correlated rack kill in ms")
+		rackStorm   = fs.String("rack-storm", "", "subject this rack's disks to a latency storm")
+		stormAtMS   = fs.Float64("rack-storm-at", 0, "storm onset in ms of virtual time")
+		stormForMS  = fs.Float64("rack-storm-for", 0, "storm duration in ms (0 disables the storm)")
+		stormFactor = fs.Float64("rack-storm-factor", 3, "disk service-time multiplier during the storm")
+		stormJitMS  = fs.Float64("rack-storm-jitter", 0, "per-disk storm onset jitter bound in ms")
+		rackStrag   = fs.String("rack-straggle", "", "spread compute stragglers across this rack's processors")
+		stragFactor = fs.Float64("rack-straggle-factor", 2, "compute slowdown of an affected processor")
+		stragRate   = fs.Float64("rack-straggle-rate", 0, "fraction of the rack's processors affected [0,1] (0 disables the spread)")
 		traceFile   = fs.String("trace", "", "write the access trace to this file")
 		analyze     = fs.Bool("analyze", false, "print off-line trace analysis")
 		spansFile   = fs.String("trace-out", "", "write the observability span trace to this file")
@@ -125,6 +136,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if nf.Enabled() {
 			cfg.NodeFault = nf
+		}
+		if *racks > 0 {
+			cfg.Domain = rapid.DomainConfig{
+				Seed:            *faultSeed,
+				Domains:         rapid.SplitDomains("rack", *procs, *procs, *racks),
+				KillDomain:      *rackKill,
+				KillAt:          rapid.Millis(*rackKillMS),
+				StormDomain:     *rackStorm,
+				StormAt:         rapid.Millis(*stormAtMS),
+				StormFor:        rapid.Millis(*stormForMS),
+				StormFactor:     *stormFactor,
+				StormJitter:     rapid.Millis(*stormJitMS),
+				StragglerDomain: *rackStrag,
+				StragglerFactor: *stragFactor,
+				StragglerRate:   *stragRate,
+			}
 		}
 		if *ioBound {
 			cfg.ComputeMean = 0

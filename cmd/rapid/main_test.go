@@ -220,6 +220,47 @@ func TestChaosSmokeCompletes(t *testing.T) {
 	}
 }
 
+// A correlated rack kill completes under the quorum watchdog and
+// reports the degraded window and detection latency.
+func TestRackKillRunCompletes(t *testing.T) {
+	args := append([]string{"-pattern", "gw", "-sync", "each", "-prefetch",
+		"-racks", "4", "-rack-kill", "rack2", "-rack-kill-at", "30",
+		"-barrier-timeout", "20"}, small...)
+	got, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := runCmd(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatal("rack-kill run is not deterministic")
+	}
+	for _, want := range []string{"disks alive 3/4", "procs alive 3/4", "degraded window", "detection"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rack-kill output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// Naming racks without scheduling any domain event is inert: the run
+// is byte-identical to one with no domains at all.
+func TestRackFlagsZeroValueIdentity(t *testing.T) {
+	base := append([]string{"-pattern", "gw", "-sync", "total", "-prefetch"}, small...)
+	clean, _, err := runCmd(t, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runCmd(t, append(append([]string{}, base...), "-racks", "4")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != clean {
+		t.Fatalf("naming inert racks changed the output:\n--- clean ---\n%s\n--- racked ---\n%s", clean, got)
+	}
+}
+
 // JSON output carries the node-fault counters for scripted consumers.
 func TestJSONNodeFaultCounters(t *testing.T) {
 	args := append([]string{"-pattern", "gw", "-sync", "each", "-proc-slow", "4", "-json"}, small...)

@@ -24,6 +24,7 @@ func main() {
 		scale      = flag.String("scale", "paper", "experiment scale: paper, test, or cluster (100k-1M node compact-engine sweep)")
 		scaleNodes = flag.String("scale-nodes", "", "comma-separated node counts for -scale cluster (default 100000,250000,500000,1000000)")
 		telemetry  = flag.Bool("telemetry", false, "with -scale cluster: attach the windowed telemetry sink (plus a 16-node sample) to the leading prefetch cell and write its time series and sampled trace to -csv")
+		chaos      = flag.Bool("chaos", false, "with -scale cluster: run the chaos study instead — claims C1-C5 (fault determinism, zero-value inertness, quorum vs deadlock, prefetch masking, proportional domain kills) plus one chaos cell per size")
 		csvDir     = flag.String("csv", "", "directory to write per-figure CSV data")
 		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		simW       = flag.Int("sim-workers", 1, "parallel-kernel workers inside each simulation (1 = serial kernel; results identical at any value)")
@@ -51,11 +52,15 @@ func main() {
 	}
 
 	if *scale == "cluster" {
-		runCluster(*scaleNodes, *csvDir, *telemetry, *progress, *memProf)
+		runCluster(*scaleNodes, *csvDir, *telemetry, *chaos, *progress, *memProf)
 		return
 	}
 	if *telemetry {
 		fmt.Fprintln(os.Stderr, "suite: -telemetry only applies to -scale cluster")
+		os.Exit(1)
+	}
+	if *chaos {
+		fmt.Fprintln(os.Stderr, "suite: -chaos only applies to -scale cluster")
 		os.Exit(1)
 	}
 
@@ -145,9 +150,10 @@ func main() {
 
 // runCluster executes the cluster-scale study (-scale cluster): the
 // 100k-1M node sweep on the compact engine, the disk-contention knee
-// study, and the S1-S4 claim checks. Runs are strictly serial — each
-// cell's bytes/node is a whole-process heap measurement.
-func runCluster(nodesCSV, csvDir string, telemetry, progress bool, memProf string) {
+// study, and the S1-S4 claim checks — or, with -chaos, the chaos
+// study's C1-C5 checks plus one chaos cell per size. Runs are strictly
+// serial — each cell's bytes/node is a whole-process heap measurement.
+func runCluster(nodesCSV, csvDir string, telemetry, chaos, progress bool, memProf string) {
 	opts := rapid.ScaleOptions{Telemetry: telemetry}
 	if nodesCSV != "" {
 		for _, tok := range strings.Split(nodesCSV, ",") {
@@ -172,8 +178,12 @@ func runCluster(nodesCSV, csvDir string, telemetry, progress bool, memProf strin
 	if len(sizes) == 0 {
 		sizes = rapid.DefaultScaleSizes()
 	}
-	fmt.Printf("running the cluster-scale study at %v nodes...\n\n", sizes)
-	v, sweep := rapid.VerifyScaleClaims(opts)
+	study, verify := "cluster-scale", rapid.VerifyScaleClaims
+	if chaos {
+		study, verify = "cluster-chaos", rapid.VerifyChaosClaims
+	}
+	fmt.Printf("running the %s study at %v nodes...\n\n", study, sizes)
+	v, sweep := verify(opts)
 	fmt.Println(sweep.Table())
 	fmt.Println(v.Report())
 

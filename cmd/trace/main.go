@@ -407,6 +407,14 @@ func cmdTimeseries(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "  %-18s %s  [%.3g .. %.3g]\n", label, metrics.Sparkline(vals, *width), lo, hi)
 	}
+	// Fault columns appear only when the run injected anything, so
+	// fault-free snapshots render exactly as they did pre-chaos.
+	var faultActivity int64
+	for i := range sn.Windows {
+		c := &sn.Windows[i].Ctrs
+		faultActivity += c[obs.CtrFaultsInjected] + c[obs.CtrReadRetries] +
+			c[obs.CtrNodeStalls] + c[obs.CtrQuorumReleases]
+	}
 	if n > 0 {
 		spark("events/sec", series(func(w *telemetry.Window) float64 {
 			return sn.Rate(w.Ctrs[obs.CtrKernelEvents])
@@ -426,22 +434,34 @@ func cmdTimeseries(args []string, stdout, stderr io.Writer) error {
 		spark("disk queue p95 µs", series(func(w *telemetry.Window) float64 {
 			return float64(w.Quantile(0, 0.95))
 		}))
+		if faultActivity > 0 {
+			spark("faults/sec", series(func(w *telemetry.Window) float64 {
+				return sn.Rate(w.Ctrs[obs.CtrFaultsInjected])
+			}))
+			spark("retries/sec", series(func(w *telemetry.Window) float64 {
+				return sn.Rate(w.Ctrs[obs.CtrReadRetries])
+			}))
+		}
 	}
 
 	stride := 1
 	if *rows > 0 && n > *rows {
 		stride = (n + *rows - 1) / *rows
 	}
-	tb := &metrics.Table{Header: []string{
+	header := []string{
 		"window", "start ms", "events/s", "hit", "pf/s",
-		"demand ms", "sync ms", "queue p95 ms"}}
+		"demand ms", "sync ms", "queue p95 ms"}
+	if faultActivity > 0 {
+		header = append(header, "faults", "retries", "stalls", "quorum")
+	}
+	tb := &metrics.Table{Header: header}
 	for i := 0; i < n; i += stride {
 		w := &sn.Windows[i]
 		hit := "-"
 		if r := w.HitRate(); r >= 0 {
 			hit = fmt.Sprintf("%.3f", r)
 		}
-		tb.AddRow(
+		row := []string{
 			fmt.Sprintf("%d", w.Index),
 			fmt.Sprintf("%.1f", float64(w.Index*sn.WindowMicros)/1000),
 			fmt.Sprintf("%.0f", sn.Rate(w.Ctrs[obs.CtrKernelEvents])),
@@ -450,7 +470,16 @@ func cmdTimeseries(args []string, stdout, stderr io.Writer) error {
 			fmt.Sprintf("%.1f", float64(w.Dur[obs.SpanDemandWait])/1000),
 			fmt.Sprintf("%.1f", float64(w.Dur[obs.SpanSyncWait])/1000),
 			fmt.Sprintf("%.2f", float64(w.Quantile(0, 0.95))/1000),
-		)
+		}
+		if faultActivity > 0 {
+			row = append(row,
+				fmt.Sprintf("%d", w.Ctrs[obs.CtrFaultsInjected]),
+				fmt.Sprintf("%d", w.Ctrs[obs.CtrReadRetries]),
+				fmt.Sprintf("%d", w.Ctrs[obs.CtrNodeStalls]),
+				fmt.Sprintf("%d", w.Ctrs[obs.CtrQuorumReleases]),
+			)
+		}
+		tb.AddRow(row...)
 	}
 	fmt.Fprint(stdout, tb.String())
 	if stride > 1 {

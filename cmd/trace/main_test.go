@@ -225,6 +225,55 @@ func TestTimeseriesSubcommand(t *testing.T) {
 	}
 }
 
+// TestTimeseriesFaultView: a snapshot with fault activity grows the
+// fault sparklines and table columns; a fault-free snapshot renders
+// without them (the pre-chaos layout, byte-stable).
+func TestTimeseriesFaultView(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.telemetry.json")
+	writeTelemetrySnapshot(t, clean)
+	out, err := runCmd(t, "timeseries", clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"faults/sec", "retries"} {
+		if strings.Contains(out, absent) {
+			t.Fatalf("fault-free timeseries shows fault view %q:\n%s", absent, out)
+		}
+	}
+
+	faulted := filepath.Join(dir, "faulted.telemetry.json")
+	tel := telemetry.New(telemetry.Config{Window: 50_000, Nodes: 4})
+	cfg := rapid.DefaultConfig(rapid.GW)
+	cfg.Procs, cfg.Disks, cfg.Pattern.Procs = 4, 4, 4
+	cfg.Pattern.TotalBlocks = 120
+	cfg.Prefetch = true
+	cfg.Fault = rapid.FaultConfig{Seed: 9, ReadErrorRate: 0.2}
+	cfg.Obs = tel
+	if _, err := rapid.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCmd(t, "timeseries", faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"faults/sec", "retries/sec", "faults", "retries", "stalls", "quorum"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faulted timeseries missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // writeTelemetrySnapshot runs a small experiment with the windowed
 // telemetry sink attached and writes its snapshot JSON to path.
 func writeTelemetrySnapshot(t *testing.T, path string) {

@@ -79,7 +79,8 @@ type Barrier struct {
 	// Quorum watchdog state (inert while timeout is zero).
 	timeout        sim.Duration
 	quorumReleases int
-	excisions      []error // one per excision, wrapping fault.ErrBarrierTimeout
+	firstQuorumAt  sim.Time // instant of the first quorum release (0 = none)
+	excisions      []error  // one per excision, wrapping fault.ErrBarrierTimeout
 
 	obs      obs.Sink // nil = no observability (the common case)
 	genStart sim.Time // first arrival of the current generation
@@ -132,6 +133,12 @@ func (b *Barrier) Generations() int { return b.generations }
 // QuorumReleases returns how many generations the watchdog released
 // without their full membership.
 func (b *Barrier) QuorumReleases() int { return b.quorumReleases }
+
+// FirstQuorumAt returns the virtual time of the first quorum release,
+// or zero if the watchdog never fired. Against a fault's kill time
+// this is the recovery layer's detection latency: how long the
+// survivors waited before giving up on the dead.
+func (b *Barrier) FirstQuorumAt() sim.Time { return b.firstQuorumAt }
 
 // Excisions returns one error per member excision, each wrapping
 // fault.ErrBarrierTimeout with the generation and member excised. A
@@ -211,6 +218,9 @@ func (b *Barrier) expire(gen int) {
 		}
 	}
 	b.quorumReleases++
+	if b.firstQuorumAt == 0 {
+		b.firstQuorumAt = b.k.Now()
+	}
 	if b.obs != nil {
 		b.obs.Add(obs.CtrQuorumReleases, 1)
 	}

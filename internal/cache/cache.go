@@ -331,6 +331,13 @@ type Cache struct {
 
 	obs obs.Sink // nil = no observability (the common case)
 
+	// onPrefetchDemote, when set, is called with the block id each time
+	// a failed fill silently demotes an unconsumed prefetch — the one
+	// drop that removes a block ahead of the demand cursor. The oracle
+	// policy's monotone scan cursor hangs its fault-run exactness on
+	// this callback (prefetch.Policy.Demote). Runs in kernel context.
+	onPrefetchDemote func(block int)
+
 	// doneSentinel is a single pre-fired event swapped into IODone when
 	// a fill completes successfully. Post-completion readers only ever
 	// ask Fired() (waitEvent and its compact analogue return before
@@ -348,6 +355,10 @@ type Cache struct {
 // counters on the access paths and a fill span (fetch begin to
 // ready/failed, on the home node's track) for every completed fill.
 func (c *Cache) SetObserver(s obs.Sink) { c.obs = s }
+
+// SetPrefetchDemoteHook registers fn to be called whenever a failed
+// fill demotes an unconsumed prefetched block (see onPrefetchDemote).
+func (c *Cache) SetPrefetchDemoteHook(fn func(block int)) { c.onPrefetchDemote = fn }
 
 // fillSpan reports a completed fill. Arg bit 0 marks an (unconsumed)
 // prefetch fill, bit 1 a failed one.
@@ -677,7 +688,8 @@ func (c *Cache) failFetch(buf *Buffer, err error) {
 		c.obs.Add(obs.CtrCacheFailedFills, 1)
 		c.fillSpan(buf, int(buf.block), true)
 	}
-	c.byBlock.del(int(buf.block))
+	block := int(buf.block)
+	c.byBlock.del(block)
 	buf.block = -1
 	buf.fetchSrc = nil
 	if buf.prefetched {
@@ -689,6 +701,9 @@ func (c *Cache) failFetch(buf *Buffer, err error) {
 		c.perNode[buf.prefetchedBy]--
 		c.dropFromOrder(buf)
 		c.recycle(buf)
+		if c.onPrefetchDemote != nil {
+			c.onPrefetchDemote(block)
+		}
 		return
 	}
 	if buf.pins == 0 {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/memory"
 	"repro/internal/obs"
 	"repro/internal/pattern"
@@ -32,8 +33,20 @@ import (
 // while a continuation runs at the instant of the firing itself, so
 // same-instant work interleaves differently and the contention counts
 // the cost model sees can differ. Validate restricts the mode to the
-// configurations the state machine covers: global access patterns, no
-// fault injection, no tracing.
+// configurations the state machine covers (see compactCapabilities in
+// config.go): global access patterns, no tracing.
+//
+// Fault injection is fully supported and keeps the determinism
+// property: a failed fill parks the node in an explicit backoff state
+// (cpcBackoff) whose jitter comes from the node's own retry stream, a
+// dead home disk remaps through place exactly as in the goroutine
+// engine, and a node kill crashes the node into a terminal cpcDead
+// state at its next read boundary — crash semantics, no barrier
+// withdrawal, so a kill under synchronization without a barrier
+// timeout deadlocks the survivors by design (and trips the flight
+// recorder). Every fault draw comes from per-disk/per-node/per-domain
+// streams already aligned to deterministic orders, so results stay
+// byte-identical at any SimWorkers count.
 
 // cpc is a compact node's program counter.
 type cpc uint8
@@ -70,8 +83,14 @@ const (
 	// cpcEndGens drains the RU set and catches up on remaining
 	// generations before withdrawing.
 	cpcEndGens
+	// cpcBackoff resumes after a failed read's virtual-time
+	// capped-exponential backoff and retries the lookup.
+	cpcBackoff
 	// cpcDone marks a cleanly finished node.
 	cpcDone
+	// cpcDead marks a node killed by fault injection — terminal, like
+	// cpcDone, but the node crashed out with reads unclaimed.
+	cpcDead
 )
 
 // cnode is one compact processor. Everything the goroutine engine kept
@@ -112,6 +131,10 @@ type cnode struct {
 	computeStart   sim.Time
 
 	action cnodeAction
+
+	// attempts counts failed fills of the current read (retry/backoff
+	// bookkeeping, reset when a new read is claimed).
+	attempts int32
 
 	pc        cpc
 	afterSync cpc
@@ -172,6 +195,8 @@ func ScaleConfig(nodes, disks int, prefetch bool) Config {
 
 // runCompact executes the experiment on the compact engine.
 func (e *Engine) runCompact() *Result {
+	e.armNodeFaults()
+	e.armDomainFaults()
 	e.cnodes = make([]cnode, e.cfg.Procs)
 	for i := range e.cnodes {
 		n := &e.cnodes[i]
@@ -195,8 +220,8 @@ func (e *Engine) runCompact() *Result {
 		e.aud.Sweep()
 	}
 	for i := range e.cnodes {
-		if e.cnodes[i].pc != cpcDone {
-			panic(fmt.Sprintf("core: compact node %d stalled at pc %d with an empty event queue (deadlock)", i, e.cnodes[i].pc))
+		if pc := e.cnodes[i].pc; pc != cpcDone && pc != cpcDead {
+			panic(fmt.Sprintf("core: compact node %d stalled at pc %d with an empty event queue (deadlock)", i, pc))
 		}
 	}
 	return e.collectResult()
@@ -355,12 +380,68 @@ func (e *Engine) cSyncArrive(n *cnode, next cpc) bool {
 	return true
 }
 
+// cFailedRead is failedRead for a compact node: release the buffer
+// whose fill failed, book the retry, and park the node on the
+// capped-exponential backoff timer; the wake re-enters at cpcBackoff
+// and retries the lookup (a dead home disk remaps through place on the
+// way). Exhausting a bounded retry policy panics exactly as in the
+// goroutine engine.
+func (e *Engine) cFailedRead(n *cnode) {
+	err := n.buf.FillErr()
+	e.bcache.Unpin(n.buf)
+	n.buf = nil
+	n.attempts++
+	if e.retry.Exhausted(int(n.attempts)) {
+		panic(fmt.Sprintf("core: node %d: read of block %d failed after %d attempts: %v",
+			n.id, n.block, n.attempts, err))
+	}
+	e.res.Faults.ReadRetries++
+	if e.obs != nil {
+		e.obs.Add(obs.CtrReadRetries, 1)
+	}
+	n.waitStart = e.k.Now()
+	n.waitBlock = n.block
+	n.pc = cpcBackoff
+	e.k.AfterWake(e.retry.Backoff(int(n.attempts), e.nodes[n.id].retryRNG), n)
+}
+
+// cAbandon is abandon for a compact node: crash semantics. The node
+// unpins what it holds, records its stats, and parks terminally at
+// cpcDead without withdrawing from the barrier — its membership is
+// recovered by the quorum watchdog (when armed), so a kill under
+// synchronization without a barrier timeout deadlocks the survivors by
+// design. Compact patterns are global, so the victim's unclaimed reads
+// stay in the shared cursor and the surviving self-scheduled readers
+// drain them with no orphan posting.
+func (e *Engine) cAbandon(n *cnode) {
+	n.ru.drain(e.bcache)
+	e.killErr = fmt.Errorf("core: node %d abandoned 0 unread block(s): %w",
+		n.id, fault.ErrProcDead)
+	e.res.Faults.Node.DeadProcs++
+	if e.res.Faults.Node.KilledAtMillis == 0 {
+		e.res.Faults.Node.KilledAtMillis = sim.Duration(e.k.Now()).Millis()
+	}
+	e.res.PerProc[n.id].Reads = n.myReads
+	e.res.PerProc[n.id].Finish = e.k.Now()
+	if e.k.Now() > e.maxFinish {
+		e.maxFinish = e.k.Now()
+	}
+	if e.orphansPosted != nil && !e.orphansPosted.Fired() {
+		e.orphansPosted.Fire()
+	}
+	n.pc = cpcDead
+}
+
 // cstep runs the node's state machine until it parks again. Each case
 // either transitions inline (continue) or arranges a wake and returns.
 func (e *Engine) cstep(n *cnode) {
 	for {
 		switch n.pc {
 		case cpcMain:
+			if e.killArmed && e.nodes[n.id].dead {
+				e.cAbandon(n)
+				return
+			}
 			if e.usesGenerations() && n.passedGens < e.gens.Raised() {
 				n.passedGens++
 				if e.cSyncArrive(n, cpcMain) {
@@ -376,6 +457,7 @@ func (e *Engine) cstep(n *cnode) {
 			}
 			n.idx, n.block = idx, block
 			n.readStart = e.k.Now()
+			n.attempts = 0
 			n.ru.makeRoom(e.bcache)
 			if e.policy != nil {
 				e.policy.NoteDemand(n.id, idx)
@@ -418,9 +500,15 @@ func (e *Engine) cstep(n *cnode) {
 			return
 
 		case cpcHitWaited:
-			// No FillErr path: compact mode excludes disk faults.
+			// Wait stats first, FillErr second — the goroutine engine
+			// books the hit wait before discovering the piled-on fill
+			// failed.
 			e.res.HitWaitAll.Add(n.lastWait.Millis())
 			e.res.HitWaitUnready.Add(n.lastWait.Millis())
+			if n.buf.FillErr() != nil {
+				e.cFailedRead(n)
+				return
+			}
 			n.pc = cpcReadDone
 
 		case cpcMissAlloc:
@@ -459,7 +547,21 @@ func (e *Engine) cstep(n *cnode) {
 			n.pc = cpcLookup
 
 		case cpcDemandWaited:
+			if n.buf.FillErr() != nil {
+				e.cFailedRead(n)
+				return
+			}
 			n.pc = cpcReadDone
+
+		case cpcBackoff:
+			if e.obs != nil {
+				e.obs.Span(obs.Span{
+					Track: obs.ProcTrack(n.id), Kind: obs.SpanBackoff,
+					Start: int64(n.waitStart), End: int64(e.k.Now()),
+					Block: n.waitBlock, Arg: int64(n.attempts),
+				})
+			}
+			n.pc = cpcLookup
 
 		case cpcReadDone:
 			n.ru.add(n.buf)

@@ -3,10 +3,12 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"runtime"
 	"testing"
 
 	"repro/internal/barrier"
+	"repro/internal/fault"
 	"repro/internal/pattern"
 	"repro/internal/predict"
 	"repro/internal/sim"
@@ -140,40 +142,70 @@ func TestCompactConservation(t *testing.T) {
 	}
 }
 
-// TestCompactValidateRejects pins the compact mode's restrictions:
-// local patterns, fault injection, and tracing are refused up front
-// rather than failing mid-run.
+// TestCompactValidateRejects pins the capability table: the combos the
+// compact engine still refuses reject with exactly these messages, and
+// the axes PR 10 lifted — disk faults, node faults, failure domains —
+// now validate.
 func TestCompactValidateRejects(t *testing.T) {
 	t.Parallel()
-	reject := func(name string, mutate func(*Config)) {
+	reject := func(name, wantMsg string, mutate func(*Config)) {
 		cfg := DefaultConfig(pattern.GW)
 		cfg.CompactNodes = true
 		mutate(&cfg)
-		if err := cfg.Validate(); err == nil {
+		err := cfg.Validate()
+		if err == nil {
 			t.Errorf("%s: Validate accepted an unsupported compact configuration", name)
+			return
+		}
+		if err.Error() != wantMsg {
+			t.Errorf("%s: rejection message %q, want %q", name, err, wantMsg)
 		}
 	}
-	reject("local pattern", func(c *Config) {
-		*c = DefaultConfig(pattern.LFP)
-		c.CompactNodes = true
-	})
-	reject("disk faults", func(c *Config) { c.Fault.ReadErrorRate = 0.1 })
-	reject("node faults", func(c *Config) {
+	reject("local pattern",
+		"core: CompactNodes supports only global access patterns, not lfp",
+		func(c *Config) {
+			*c = DefaultConfig(pattern.LFP)
+			c.CompactNodes = true
+		})
+	reject("trace",
+		"core: CompactNodes does not support tracing",
+		func(c *Config) { c.Trace = func(Event) {} })
+
+	accept := func(name string, mutate func(*Config)) {
+		cfg := DefaultConfig(pattern.GW)
+		cfg.CompactNodes = true
+		mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: supported compact configuration rejected: %v", name, err)
+		}
+	}
+	accept("plain", func(c *Config) {})
+	accept("backpressure", func(c *Config) { c.NodeFault.Backpressure = true })
+	accept("disk faults", func(c *Config) { c.Fault.ReadErrorRate = 0.1 })
+	accept("node faults", func(c *Config) {
 		c.NodeFault.StragglerFactor = 2
 		c.NodeFault.StragglerNode = 0
 	})
-	reject("trace", func(c *Config) { c.Trace = func(Event) {} })
+	accept("kill + quorum", func(c *Config) {
+		c.NodeFault.KillAt = 100 * sim.Millisecond
+		c.NodeFault.BarrierTimeout = 50 * sim.Millisecond
+	})
+	accept("failure domains", func(c *Config) {
+		c.Domain = fault.DomainConfig{
+			Domains:    fault.SplitDomains("rack", c.Disks, c.Procs, 4),
+			KillDomain: "rack1", KillAt: 100 * sim.Millisecond,
+		}
+	})
 
-	cfg := DefaultConfig(pattern.GW)
-	cfg.CompactNodes = true
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("plain global compact config rejected: %v", err)
-	}
-	// Backpressure is a throttle, not an injected fault: the one
-	// NodeFault field compact mode accepts (ScaleConfig relies on it).
-	cfg.NodeFault.Backpressure = true
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("backpressure-only compact config rejected: %v", err)
+	// Every rejecting table entry names its feature and message; every
+	// supported axis documents itself with a nil predicate.
+	for _, cap := range compactCapabilities {
+		if cap.feature == "" {
+			t.Error("capability table entry with an empty feature name")
+		}
+		if (cap.blocked == nil) != (cap.reject == nil) {
+			t.Errorf("capability %q: blocked and reject must be both set or both nil", cap.feature)
+		}
 	}
 }
 
@@ -306,4 +338,238 @@ func totalReads(r *Result) int {
 		n += ps.Reads
 	}
 	return n
+}
+
+// compactFaultConfigs is the fault-path matrix for the compact engine:
+// every injection axis PR 10 lifted — transient disk errors, latency
+// spikes with timeouts, disk death with degraded remap, stragglers and
+// stalls, kill-plus-quorum, and correlated failure domains (storms,
+// straggler racks, rack kill).
+func compactFaultConfigs() map[string]Config {
+	m := map[string]Config{}
+	base := func() Config {
+		cfg := DefaultConfig(pattern.GW)
+		cfg.Procs = 8
+		cfg.Disks = 4
+		cfg.Pattern.Procs = 8
+		cfg.Pattern.TotalBlocks = 96
+		cfg.CompactNodes = true
+		return cfg
+	}
+
+	c := base()
+	c.Fault = fault.Config{Seed: 11, ReadErrorRate: 0.2}
+	m["disk/transient"] = c
+
+	c = base()
+	c.Prefetch = true
+	c.Fault = fault.Config{
+		Seed: 11, ReadErrorRate: 0.05,
+		SpikeRate: 0.1, SpikeMultiplier: 4, SpikeMean: 10 * sim.Millisecond,
+		StuckRate: 0.02, StuckDelay: 20 * sim.Millisecond,
+		Timeout: 120 * sim.Millisecond,
+	}
+	m["disk/spikes+timeout"] = c
+
+	c = base()
+	c.Fault = fault.Config{Seed: 11, KillAt: 50 * sim.Millisecond, KillDisk: 1}
+	m["disk/kill-degraded"] = c
+
+	c = base()
+	c.Prefetch = true
+	c.NodeFault = fault.NodeConfig{
+		Seed: 5, StragglerFactor: 3, StragglerNode: 2,
+		StallRate: 0.1, StallMean: 2 * sim.Millisecond,
+	}
+	m["node/straggler+stalls"] = c
+
+	c = base()
+	c.Sync = barrier.EveryNPerProc
+	c.SyncEveryPerProc = 4
+	c.NodeFault = fault.NodeConfig{
+		Seed: 5, KillAt: 100 * sim.Millisecond, KillNode: 3,
+		BarrierTimeout: 60 * sim.Millisecond,
+	}
+	m["node/kill+quorum"] = c
+
+	c = base()
+	c.Prefetch = true
+	c.Domain = fault.DomainConfig{
+		Seed:        9,
+		Domains:     fault.SplitDomains("rack", 4, 8, 2),
+		StormDomain: "rack0", StormAt: 10 * sim.Millisecond,
+		StormFor: 80 * sim.Millisecond, StormFactor: 3,
+		StormJitter:     5 * sim.Millisecond,
+		StragglerDomain: "rack1", StragglerFactor: 2, StragglerRate: 0.5,
+	}
+	m["domain/storm+straggle"] = c
+
+	c = base()
+	c.Sync = barrier.EveryNTotal
+	c.SyncEveryTotal = 24
+	c.NodeFault.BarrierTimeout = 60 * sim.Millisecond
+	c.Domain = fault.DomainConfig{
+		Seed:       9,
+		Domains:    fault.SplitDomains("rack", 4, 8, 4),
+		KillDomain: "rack2", KillAt: 80 * sim.Millisecond,
+	}
+	m["domain/rack-kill"] = c
+	return m
+}
+
+// TestCompactFaultDeterminism extends the compact engine's determinism
+// contract to every fault path: byte-identical Results on repeat runs
+// and across SimWorkers 1/2/4/8.
+func TestCompactFaultDeterminism(t *testing.T) {
+	t.Parallel()
+	for name, cfg := range compactFaultConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runJSON := func(workers int) []byte {
+				c := cfg
+				c.SimWorkers = workers
+				b, err := json.Marshal(MustRun(c))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			first := runJSON(1)
+			if again := runJSON(1); !bytes.Equal(again, first) {
+				t.Fatal("repeat run differs")
+			}
+			for _, w := range []int{2, 4, 8} {
+				if got := runJSON(w); !bytes.Equal(got, first) {
+					t.Fatalf("SimWorkers=%d differs from serial", w)
+				}
+			}
+		})
+	}
+}
+
+// TestCompactFaultConservation: under every fault configuration the
+// global reference string is still read exactly once end to end —
+// retries, remaps, quorum releases, and rack kills redistribute work,
+// they never lose or duplicate it.
+func TestCompactFaultConservation(t *testing.T) {
+	t.Parallel()
+	for name, cfg := range compactFaultConfigs() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := MustRun(cfg)
+			if got := totalReads(res); got != cfg.Pattern.TotalBlocks {
+				t.Fatalf("read %d of %d blocks", got, cfg.Pattern.TotalBlocks)
+			}
+			if res.TotalTime <= 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+// TestCompactKillRecoveryObservability drives the compact kill path and
+// checks the recovery measures PR 10 added: the kill instant, the
+// quorum detection latency, the degraded window, and the wrapped
+// fault.ErrProcDead.
+func TestCompactKillRecoveryObservability(t *testing.T) {
+	t.Parallel()
+	cfg := compactFaultConfigs()["node/kill+quorum"]
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	n := res.Faults.Node
+	if n.DeadProcs != 1 || n.AliveProcs != cfg.Procs-1 {
+		t.Fatalf("dead/alive = %d/%d, want 1/%d", n.DeadProcs, n.AliveProcs, cfg.Procs-1)
+	}
+	if n.QuorumReleases == 0 || n.Excisions == 0 {
+		t.Fatalf("watchdog never acted: %d releases, %d excisions", n.QuorumReleases, n.Excisions)
+	}
+	if n.KilledAtMillis <= 0 {
+		t.Fatalf("KilledAtMillis = %g, want > 0", n.KilledAtMillis)
+	}
+	if n.FirstQuorumAtMillis < n.KilledAtMillis {
+		t.Fatalf("first quorum release %g ms precedes the kill at %g ms",
+			n.FirstQuorumAtMillis, n.KilledAtMillis)
+	}
+	if want := res.TotalTimeMillis() - n.KilledAtMillis; n.DegradedMillis != want {
+		t.Fatalf("DegradedMillis = %g, want %g", n.DegradedMillis, want)
+	}
+	if kerr := e.KillError(); kerr == nil || !errors.Is(kerr, fault.ErrProcDead) {
+		t.Fatalf("kill error %v does not wrap fault.ErrProcDead", kerr)
+	}
+	// The victim's stats freeze at its death.
+	if res.PerProc[cfg.NodeFault.KillNode].Finish <= 0 {
+		t.Fatal("victim has no finish time")
+	}
+}
+
+// TestCompactDomainKillDegradedWindow: a rack kill takes out a disk and
+// two nodes at once; survivors finish the workload through degraded
+// remap and quorum releases, and the Result carries the degraded
+// window.
+func TestCompactDomainKillDegradedWindow(t *testing.T) {
+	t.Parallel()
+	cfg := compactFaultConfigs()["domain/rack-kill"]
+	res := MustRun(cfg)
+	if got := totalReads(res); got != cfg.Pattern.TotalBlocks {
+		t.Fatalf("read %d of %d blocks", got, cfg.Pattern.TotalBlocks)
+	}
+	f := res.Faults
+	if f.AliveDisks != cfg.Disks-1 {
+		t.Fatalf("disks alive %d, want %d", f.AliveDisks, cfg.Disks-1)
+	}
+	if f.Node.DeadProcs != 2 || f.Node.AliveProcs != cfg.Procs-2 {
+		t.Fatalf("dead/alive = %d/%d, want 2/%d", f.Node.DeadProcs, f.Node.AliveProcs, cfg.Procs-2)
+	}
+	if f.DegradedReads == 0 {
+		t.Fatal("no placements remapped off the dead disk")
+	}
+	if f.Node.DegradedMillis <= 0 {
+		t.Fatalf("DegradedMillis = %g, want > 0", f.Node.DegradedMillis)
+	}
+}
+
+// TestCompactChaosClusterRaceSmoke is the CI chaos step's in-repo
+// anchor: 10k compact nodes with disk faults, node stalls, and a rack
+// kill, run on the 2-worker parallel kernel and cross-checked
+// byte-for-byte against the serial kernel.
+func TestCompactChaosClusterRaceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two 10k-node chaos simulations")
+	}
+	const nodes = 10_000
+	cfg := ScaleConfig(nodes, nodes/4, true)
+	cfg.Fault = fault.Config{Seed: 11, ReadErrorRate: 0.01}
+	cfg.NodeFault.Seed = 5
+	cfg.NodeFault.StallRate = 0.01
+	cfg.NodeFault.StallMean = sim.Millisecond
+	cfg.Domain = fault.DomainConfig{
+		Seed:       9,
+		Domains:    fault.SplitDomains("rack", cfg.Disks, nodes, 16),
+		KillDomain: "rack7", KillAt: 50 * sim.Millisecond,
+	}
+	cfg.SimWorkers = 2
+	r := MustRun(cfg)
+	if got := totalReads(r); got != cfg.Pattern.TotalBlocks {
+		t.Fatalf("read %d of %d blocks", got, cfg.Pattern.TotalBlocks)
+	}
+	if r.Faults.Node.DeadProcs != nodes/16 {
+		t.Fatalf("DeadProcs = %d, want %d", r.Faults.Node.DeadProcs, nodes/16)
+	}
+	serial := cfg
+	serial.SimWorkers = 1
+	r2 := MustRun(serial)
+	a, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("10k-node chaos run diverged between 2 and 1 sim workers")
+	}
 }

@@ -106,6 +106,14 @@ type Config struct {
 	// testbed.
 	NodeFault fault.NodeConfig
 
+	// Domain groups disks and nodes into named failure domains
+	// (racks, zones) and schedules correlated events against them: a
+	// whole-domain kill at a virtual time, a domain-wide latency
+	// storm, straggler spread within a domain. The zero value injects
+	// nothing and leaves every run byte-identical to the domain-free
+	// testbed.
+	Domain fault.DomainConfig
+
 	// AuditEvery, when positive, runs the runtime invariant auditor:
 	// every interval of virtual time, a sweep checks the kernel, cache,
 	// disk queues, and barrier for internal consistency and panics with
@@ -122,9 +130,11 @@ type Config struct {
 	// Results are deterministic (same seed and config give the same
 	// bytes at any SimWorkers count) but not byte-identical to the
 	// goroutine engine: same-instant work interleaves differently, so
-	// contention counts and hence exact timings can differ. Restricted
-	// to global access patterns with no fault injection and no Trace;
-	// Validate rejects unsupported combinations.
+	// contention counts and hence exact timings can differ. The full
+	// fault surface — disk faults with retry/backoff, node faults, and
+	// failure domains — is supported; what is not appears in
+	// compactCapabilities (the single source of truth), and Validate
+	// rejects those combinations.
 	CompactNodes bool `json:"compactNodes,omitempty"`
 
 	// SimWorkers, when above one, runs the simulation on the parallel
@@ -255,25 +265,28 @@ func (c *Config) Validate() error {
 	if c.SimWorkers < 0 {
 		return fmt.Errorf("core: negative SimWorkers %d", c.SimWorkers)
 	}
+	if err := c.Domain.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Domain.Enabled() {
+		if err := c.Domain.CheckAgainst(c.Disks, c.Procs); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		// A domain node kill crashes its victims without posting their
+		// unread blocks for takeover (whole-rack orphan redistribution
+		// is not modelled); under a local pattern those blocks would
+		// silently never be read, so correlated node kills are
+		// restricted to the global patterns, where the shared cursor
+		// lets survivors drain the remaining work naturally.
+		if c.Domain.KillsNodes() && c.Pattern.Kind.Local() {
+			return fmt.Errorf("core: failure-domain node kills support only global access patterns, not %v", c.Pattern.Kind)
+		}
+	}
 	if c.CompactNodes {
-		if c.Pattern.Kind.Local() {
-			return fmt.Errorf("core: CompactNodes supports only global access patterns, not %v", c.Pattern.Kind)
-		}
-		if c.Fault.Enabled() {
-			return fmt.Errorf("core: CompactNodes does not support disk fault injection")
-		}
-		// Backpressure is a prefetch throttle, not an injected fault:
-		// the compact engine honors it (ScaleConfig sets it — at the
-		// contention knee an ungated action loop retries a failed
-		// frame hunt every few microseconds for the whole multi-second
-		// disk wait). Everything else in NodeFault stays rejected.
-		nf := c.NodeFault
-		nf.Backpressure = false
-		if nf.Enabled() {
-			return fmt.Errorf("core: CompactNodes does not support node fault injection")
-		}
-		if c.Trace != nil {
-			return fmt.Errorf("core: CompactNodes does not support tracing")
+		for _, cap := range compactCapabilities {
+			if cap.blocked != nil && cap.blocked(c) {
+				return cap.reject(c)
+			}
 		}
 	}
 	// Cluster-scale configurations multiply Procs by per-node counts
@@ -296,6 +309,47 @@ func (c *Config) Validate() error {
 // mulOK reports whether a × b fits in an int; both factors are already
 // validated positive.
 func mulOK(a, b int) bool { return a <= math.MaxInt/b }
+
+// compactCapability is one feature axis of the compact engine. The
+// table below is the single source of truth for what CompactNodes
+// supports: supported axes document themselves (blocked nil), and the
+// rest carry the predicate Validate uses to reject the combination
+// plus the exact rejection message, pinned by
+// TestCompactValidateRejects.
+type compactCapability struct {
+	feature string
+	blocked func(*Config) bool  // nil: the axis is supported
+	reject  func(*Config) error // rejection for a blocked combination
+}
+
+// compactCapabilities enumerates the compact engine's feature surface.
+// PR 10 lifted the disk-fault, node-fault, and failure-domain
+// rejections — the cnode state machine carries explicit backoff and
+// dead states for them (see compact.go); the axes that remain blocked
+// are structural: local patterns need per-process reference strings
+// the flat cursor does not model, and the trace hook fires per access
+// on paths the compact engine fuses.
+var compactCapabilities = []compactCapability{
+	{feature: "global access patterns"},
+	{feature: "prefetching with backpressure"},
+	{feature: "disk fault injection (transient/spike/stuck/timeout, retry with virtual-time backoff, degraded remap off dead disks)"},
+	{feature: "node fault injection (stragglers, stalls, kill-at-virtual-time, barrier quorum timeouts, cache squeezes)"},
+	{feature: "failure domains (correlated kills, latency storms, straggler spread)"},
+	{
+		feature: "local access patterns",
+		blocked: func(c *Config) bool { return c.Pattern.Kind.Local() },
+		reject: func(c *Config) error {
+			return fmt.Errorf("core: CompactNodes supports only global access patterns, not %v", c.Pattern.Kind)
+		},
+	},
+	{
+		feature: "tracing",
+		blocked: func(c *Config) bool { return c.Trace != nil },
+		reject: func(c *Config) error {
+			return fmt.Errorf("core: CompactNodes does not support tracing")
+		},
+	},
+}
 
 // CacheCapacity returns the total buffer frames for this configuration:
 // one per processor per RU-set slot, plus the prefetch buffers when

@@ -41,6 +41,12 @@ type Engine struct {
 	inj   *fault.Injector
 	retry fault.RetryPolicy
 
+	// Failure-domain injection (nil unless cfg.Domain.Enabled()), and
+	// whether any disk can die this run (per-disk injector kill or a
+	// domain kill) — the gate for the degraded-remap check in place.
+	dinj       *fault.DomainInjector
+	diskDeaths bool
+
 	// Node-level fault injection (nil/zero unless
 	// cfg.NodeFault.Enabled()): the per-processor injector, the kill
 	// bookkeeping (whether a kill is armed, the FIFO of blocks the
@@ -131,15 +137,15 @@ func New(cfg Config) (*Engine, error) {
 		}
 		if cfg.Predictor == predict.Oracle {
 			e.policy = prefetch.NewPolicy(pat, cfg.Lead)
-			// The forward-only scan cursor is exact only when a block
-			// ahead of the demand cursor can never leave the cache and
-			// the string never repeats a block; see SetMonotone.
-			// Backpressure alone doesn't disqualify: the gate declines
-			// actions but never demotes a fill or retires a frame.
-			nf := cfg.NodeFault
-			nf.Backpressure = false
-			if cfg.Lead == 0 && pat.Kind.Global() &&
-				!cfg.Fault.Enabled() && !nf.Enabled() {
+			// The forward-only scan cursor is exact only when every
+			// drop of a block ahead of the demand cursor is reported
+			// back to the policy and the string never repeats a block;
+			// see SetMonotone. Fault injection stays exact through the
+			// prefetch-demote hook wired below — without the cursor,
+			// chaos cells pay an O(prefetch buffers) cache walk per
+			// selection and cluster-scale runs turn quadratic in the
+			// node count.
+			if cfg.Lead == 0 && pat.Kind.Global() {
 				e.policy.SetMonotone(true)
 			}
 		} else {
@@ -156,6 +162,12 @@ func New(cfg Config) (*Engine, error) {
 		// evictable or they would permanently clog the prefetch pool.
 		EvictablePrefetched: e.pred != nil,
 	})
+	if e.policy != nil && cfg.Lead == 0 && pat.Kind.Global() {
+		// The monotone cursor's one blind spot: a failed prefetch fill
+		// removes a block the scan may have verified while the
+		// transfer was in flight. The hook rolls the cursor back.
+		e.bcache.SetPrefetchDemoteHook(e.policy.Demote)
+	}
 	if cfg.Sync != barrier.None {
 		e.bar = barrier.New(k, cfg.Procs)
 		if cfg.NodeFault.BarrierTimeout > 0 {
@@ -182,6 +194,32 @@ func New(cfg Config) (*Engine, error) {
 		e.ninj = fault.NewNodes(cfg.NodeFault, cfg.Procs)
 		e.bpGate = cfg.NodeFault.Backpressure
 	}
+	if cfg.Domain.Enabled() {
+		e.dinj = fault.NewDomains(cfg.Domain)
+		if kills, at := e.dinj.DiskKills(); len(kills) > 0 {
+			for _, di := range kills {
+				e.disks.ScheduleKill(di, at)
+			}
+			// Dead disks fail fills, so reads need the retry machinery
+			// even without a per-disk injector; the backoff-jitter
+			// streams derive from the domain seed in that case.
+			if e.inj == nil {
+				e.retry = cfg.Retry
+				if !e.retry.Enabled() {
+					e.retry = fault.DefaultRetry()
+				}
+				for node := range e.nodes {
+					e.nodes[node].retryRNG = fault.RetryJitterStream(cfg.Domain.Seed, node)
+				}
+			}
+		}
+		for i := 0; i < cfg.Disks; i++ {
+			if start, end, factor, ok := e.dinj.Storm(i); ok {
+				e.disks.SetStorm(i, start, end, factor)
+			}
+		}
+	}
+	e.diskDeaths = e.inj != nil || (e.dinj != nil && cfg.Domain.KillsDisks())
 	for node := 0; node < cfg.Procs; node++ {
 		e.res.PerProc[node].Node = node
 	}
@@ -228,6 +266,7 @@ func (e *Engine) Run() *Result {
 	}
 	prefetching := e.policy != nil || e.pred != nil
 	e.armNodeFaults()
+	e.armDomainFaults()
 	for node := 0; node < e.cfg.Procs; node++ {
 		node := node
 		p := e.k.Spawn(fmt.Sprintf("proc%d", node), 0, func(p *sim.Proc) {
@@ -296,8 +335,17 @@ func (e *Engine) collectResult() *Result {
 	if e.bar != nil {
 		e.res.Faults.Node.QuorumReleases = e.bar.QuorumReleases()
 		e.res.Faults.Node.Excisions = len(e.bar.Excisions())
+		if t := e.bar.FirstQuorumAt(); t > 0 {
+			e.res.Faults.Node.FirstQuorumAtMillis = sim.Duration(t).Millis()
+		}
 	}
-	e.res.Faults.Node.AliveProcs = e.cfg.Procs - e.res.Faults.Node.DeadProcs
+	nf := &e.res.Faults.Node
+	nf.AliveProcs = e.cfg.Procs - nf.DeadProcs
+	// The degraded window — MTTR in a run that ends rather than
+	// repairs — is kill landing to last survivor finish.
+	if nf.DeadProcs > 0 && nf.KilledAtMillis > 0 {
+		nf.DegradedMillis = e.res.TotalTime.Millis() - nf.KilledAtMillis
+	}
 	return e.res
 }
 
@@ -320,6 +368,26 @@ func (e *Engine) armNodeFaults() {
 			e.res.Faults.Node.FramesRetired += e.bcache.Squeeze(ncfg.SqueezeFrames)
 		})
 	}
+}
+
+// armDomainFaults schedules the failure-domain node kill: every node
+// of the killed domain goes dead at the event's virtual time, and each
+// crashes out (abandon / cAbandon) at its next read boundary. The
+// domain's disk kills are scheduled at construction, with the disks.
+func (e *Engine) armDomainFaults() {
+	if e.dinj == nil {
+		return
+	}
+	nodes, at := e.dinj.NodeKills()
+	if len(nodes) == 0 {
+		return
+	}
+	e.killArmed = true
+	e.k.Schedule(sim.Time(at), func() {
+		for _, kn := range nodes {
+			e.nodes[kn].dead = true
+		}
+	})
 }
 
 // prefetchAllowed is the backpressure gate installed on every prefetch
@@ -458,12 +526,20 @@ func (e *Engine) abandon(p *sim.Proc, node int, ru *ruSet, myReads int) {
 	e.killErr = fmt.Errorf("core: node %d abandoned %d unread block(s): %w",
 		node, orphaned, fault.ErrProcDead)
 	e.res.Faults.Node.DeadProcs++
+	if e.res.Faults.Node.KilledAtMillis == 0 {
+		e.res.Faults.Node.KilledAtMillis = sim.Duration(p.Now()).Millis()
+	}
 	e.res.PerProc[node].Reads = myReads
 	e.res.PerProc[node].Finish = p.Now()
 	if p.Now() > e.maxFinish {
 		e.maxFinish = p.Now()
 	}
-	e.orphansPosted.Fire()
+	// Domain kills (global patterns only, no takeover FIFO) never
+	// create the orphan event; a single-victim NodeFault kill always
+	// does. Domain kills also take several victims, so guard the Fire.
+	if e.orphansPosted != nil && !e.orphansPosted.Fired() {
+		e.orphansPosted.Fire()
+	}
 }
 
 // takeover is the survivors' side of a processor kill: once a
@@ -760,6 +836,9 @@ func (e *Engine) beginAction(node int, deadline sim.Time) (sim.Duration, bool) {
 // model, which guarantees the idle-time prefetch loop always advances
 // virtual time.
 func (e *Engine) price(node int, c memory.Cost, others int) sim.Duration {
+	if e.dinj != nil {
+		c = e.dinj.ScaleNode(node, c)
+	}
 	var d sim.Duration
 	if e.ninj != nil {
 		d = e.ninj.ScaleAction(node, c, others)

@@ -15,11 +15,13 @@ import (
 // reconstruction read: the same physical position is read from a
 // deterministic survivor, chosen by a block-dependent stride so a dead
 // disk's load spreads over all survivors instead of piling onto one
-// neighbour. With no injector (or all disks alive) this is exactly
-// layout.Locate.
+// neighbour. When no disk can die this run (no injector kill, no
+// domain kill) — or the home disk is alive — this is exactly
+// layout.Locate. The stride walk handles any number of dead disks
+// (a domain kill takes a whole rack); Validate guarantees a survivor.
 func (e *Engine) place(block int) (dsk, phys int) {
 	dsk, phys = e.layout.Locate(block)
-	if e.inj == nil || e.disks.Alive(dsk) {
+	if !e.diskDeaths || e.disks.Alive(dsk) {
 		return dsk, phys
 	}
 	e.res.Faults.DegradedReads++
@@ -31,8 +33,6 @@ func (e *Engine) place(block int) (dsk, phys int) {
 			return d2, phys
 		}
 	}
-	// Unreachable while the fault model kills at most one disk;
-	// Validate guarantees a survivor exists.
 	return dsk, phys
 }
 

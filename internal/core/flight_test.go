@@ -137,6 +137,82 @@ func TestNoDumpOnCleanRun(t *testing.T) {
 	}
 }
 
+// TestFlightDumpFaultDeadlocks table-tests the fault-injected
+// deadlocks on both engines: a correlated rack kill under barrier
+// synchronization without a quorum timeout, and a processor kill under
+// prefetch backpressure. Killed processes never withdraw from their
+// barriers, so both shapes deadlock by design — and every variant must
+// route its panic through the telemetry flight recorder before
+// re-raising, so a cluster-scale post-mortem always has the last spans
+// and the per-track digest naming the stuck processors.
+func TestFlightDumpFaultDeadlocks(t *testing.T) {
+	domainKill := func(c *Config) {
+		c.Sync = barrier.EveryNTotal
+		c.SyncEveryTotal = 50
+		c.Domain = fault.DomainConfig{
+			Seed:       1,
+			Domains:    fault.SplitDomains("rack", c.Disks, c.Procs, 4),
+			KillDomain: "rack1",
+			KillAt:     100 * sim.Millisecond,
+		}
+	}
+	backpressureKill := func(c *Config) {
+		c.Sync = barrier.EveryNPerProc
+		c.Prefetch = true
+		c.NodeFault = fault.NodeConfig{
+			Seed:         1,
+			KillAt:       200 * sim.Millisecond,
+			KillNode:     2,
+			Backpressure: true,
+		}
+	}
+	cases := []struct {
+		name    string
+		compact bool
+		mutate  func(*Config)
+	}{
+		{"domain-kill/goroutine", false, domainKill},
+		{"domain-kill/compact", true, domainKill},
+		{"backpressure-kill/goroutine", false, backpressureKill},
+		{"backpressure-kill/compact", true, backpressureKill},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(pattern.GW)
+			cfg.Procs = 4
+			cfg.Disks = 4
+			cfg.Pattern.Procs = 4
+			cfg.Pattern.TotalBlocks = 200
+			cfg.CompactNodes = tc.compact
+			tc.mutate(&cfg)
+			sink, human, trace := flightSink()
+			cfg.Obs = sink
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("fault-injected run did not deadlock")
+				}
+				out := human.String()
+				for _, want := range []string{
+					"=== telemetry flight recorder ===",
+					"tracks heard from",
+					"proc",
+				} {
+					if !strings.Contains(out, want) {
+						t.Errorf("flight dump missing %q:\n%s", want, out)
+					}
+				}
+				if rec, err := obs.Read(trace); err != nil {
+					t.Errorf("flight trace unreadable: %v", err)
+				} else if len(rec.Spans) == 0 {
+					t.Error("flight trace has no spans")
+				}
+			}()
+			MustRun(cfg)
+		})
+	}
+}
+
 // TestFlightDumpCompactViolation: the compact engine's panic paths
 // route through the same defer. Corrupt the shared pattern cursor via
 // a scheduled kernel event mid-run (compact mode rejects cfg.Trace, so

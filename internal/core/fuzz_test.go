@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"testing"
@@ -41,9 +43,9 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [11]uint8) bool {
 		// a bounded cluster size — up to ~5k procs and disks — so the
 		// flat-node state machines, the sharded cache index, and the
 		// timer wheel under load face the same invariants as the
-		// goroutine engine. Compact runs support only global access
-		// patterns and no node-fault injection; those dims are re-drawn
-		// or skipped below.
+		// goroutine engine — including the disk-, node-, and
+		// domain-fault dims. Compact runs support only global access
+		// patterns; that dim is re-drawn below.
 		compact := raw[10]%4 == 0
 		kind := pattern.Kinds[int(raw[0])%len(pattern.Kinds)]
 		if compact {
@@ -101,33 +103,60 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [11]uint8) bool {
 			}
 		}
 		// Every fuzzed run is swept by the invariant auditor, and some
-		// draw node-fault dimensions that preserve the accounting
-		// invariants: stragglers, stalls, and capacity squeezes slow a
-		// run without changing which blocks are read. Processor kills
-		// reshape per-proc accounting and are corner-cased in
-		// TestFuzzSeeds instead.
+		// draw fault dimensions that preserve the accounting
+		// invariants: stragglers, stalls, capacity squeezes, transient
+		// disk errors, and domain storms slow a run without changing
+		// which blocks are read. Both engines face the same fault dims
+		// — the compact state machines learned the full fault paths.
+		// Disk/processor kills reshape per-proc accounting and are
+		// corner-cased in TestFuzzSeeds and the compact fault tests
+		// instead.
 		cfg.AuditEvery = 5 * sim.Millisecond
 		if compact {
 			// A 4k-node compact run sweeps a lot of state per audit; a
 			// sparser cadence keeps the draw inside a fuzz round.
 			cfg.AuditEvery = 200 * sim.Millisecond
 		}
-		if !compact {
-			if raw[0]%3 == 0 {
-				cfg.NodeFault.Seed = seed
-				cfg.NodeFault.StragglerFactor = 2 + float64(raw[2]%3)
-				cfg.NodeFault.StragglerNode = int(raw[3]) % procs
+		if raw[0]%3 == 0 {
+			cfg.NodeFault.Seed = seed
+			cfg.NodeFault.StragglerFactor = 2 + float64(raw[2]%3)
+			cfg.NodeFault.StragglerNode = int(raw[3]) % procs
+		}
+		if raw[1]%4 == 0 {
+			cfg.NodeFault.Seed = seed
+			cfg.NodeFault.StallRate = 0.03
+		}
+		if cfg.Prefetch && raw[4]%4 == 0 {
+			cfg.NodeFault.Seed = seed
+			cfg.NodeFault.SqueezeAt = 40 * sim.Millisecond
+			cfg.NodeFault.SqueezeFrames = 1
+			cfg.NodeFault.Backpressure = raw[4]%8 == 0
+		}
+		if raw[6]%5 == 0 {
+			// Transient read errors retry to completion: reads conserve.
+			cfg.Fault.Seed = seed
+			cfg.Fault.ReadErrorRate = 0.05
+		}
+		if raw[10]%8 >= 6 {
+			// Correlated failure domains without kills: a latency storm
+			// on the first rack or a straggler spread on the last, both
+			// completion-safe.
+			d := fault.DomainConfig{
+				Seed:    seed,
+				Domains: fault.SplitDomains("rack", cfg.Disks, procs, 2+int(raw[2])%3),
 			}
-			if raw[1]%4 == 0 {
-				cfg.NodeFault.Seed = seed
-				cfg.NodeFault.StallRate = 0.03
+			if raw[3]%2 == 0 {
+				d.StormDomain = "rack0"
+				d.StormAt = sim.Duration(raw[5]%50) * sim.Millisecond
+				d.StormFor = 30 * sim.Millisecond
+				d.StormFactor = 2 + float64(raw[7]%3)
+				d.StormJitter = sim.Duration(raw[8]%10) * sim.Millisecond
+			} else {
+				d.StragglerDomain = d.Domains[len(d.Domains)-1].Name
+				d.StragglerFactor = 2
+				d.StragglerRate = 0.5
 			}
-			if cfg.Prefetch && raw[4]%4 == 0 {
-				cfg.NodeFault.Seed = seed
-				cfg.NodeFault.SqueezeAt = 40 * sim.Millisecond
-				cfg.NodeFault.SqueezeFrames = 1
-				cfg.NodeFault.Backpressure = raw[4]%8 == 0
-			}
+			cfg.Domain = d
 		}
 
 		r, err := Run(cfg)
@@ -139,8 +168,11 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [11]uint8) bool {
 		if kind.Local() {
 			wantReads = procs * cfg.Pattern.BlocksPerProc
 		}
-		if got := int(r.Cache.Accesses()); got != wantReads {
-			t.Logf("%s: accesses %d != reads %d", cfg.Label(), got, wantReads)
+		// Each transient read error sends the reader back through the
+		// cache, so accesses exceed logical reads by exactly the retry
+		// count (zero on fault-free draws).
+		if got := int(r.Cache.Accesses()); got != wantReads+int(r.Faults.ReadRetries) {
+			t.Logf("%s: accesses %d != reads %d + retries %d", cfg.Label(), got, wantReads, r.Faults.ReadRetries)
 			return false
 		}
 		if int(r.ReadTime.N()) != wantReads {
@@ -155,7 +187,7 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [11]uint8) bool {
 			t.Logf("%s: per-proc sum %d", cfg.Label(), perProc)
 			return false
 		}
-		if r.Cache.ReadyHits+r.Cache.UnreadyHits+r.Cache.Misses != int64(wantReads) {
+		if r.Cache.ReadyHits+r.Cache.UnreadyHits+r.Cache.Misses != int64(wantReads)+r.Faults.ReadRetries {
 			t.Logf("%s: outcome partition broken", cfg.Label())
 			return false
 		}
@@ -175,13 +207,23 @@ func fuzzCheck(t *testing.T) func(seed uint64, raw [11]uint8) bool {
 		// replays identically on a kernel with a different worker
 		// count, so every fuzzed configuration cross-checks the
 		// parallel kernel against the serial one (or vice versa).
+		// Whole-Result JSON equality covers every counter — cache,
+		// disk faults, node faults, domain events, per-proc stats —
+		// not just the totals (SimWorkers is excluded from the
+		// marshalled Config).
 		cfg2 := cfg
 		cfg2.SimWorkers = 1
 		if cfg.SimWorkers <= 1 {
 			cfg2.SimWorkers = 4
 		}
 		r2 := MustRun(cfg2)
-		if r2.TotalTime != r.TotalTime || r2.Cache != r.Cache || r2.Faults != r.Faults {
+		a, aerr := json.Marshal(r)
+		b, berr := json.Marshal(r2)
+		if aerr != nil || berr != nil {
+			t.Logf("%s: marshal: %v %v", cfg.Label(), aerr, berr)
+			return false
+		}
+		if !bytes.Equal(a, b) {
 			t.Logf("%s: diverged between %d and %d sim workers", cfg.Label(), cfg.SimWorkers, cfg2.SimWorkers)
 			return false
 		}

@@ -53,6 +53,17 @@ type NodeFaultCounters struct {
 	// ThrottledPrefetches counts prefetch attempts the backpressure
 	// gate suppressed while the prefetch buffer class was exhausted.
 	ThrottledPrefetches int64
+
+	// Recovery observability (all zero when no processor dies).
+	// KilledAtMillis is the virtual time the first kill landed (the
+	// victim reached its next read boundary and crashed out);
+	// FirstQuorumAtMillis is the first quorum release — the survivors'
+	// detection instant; DegradedMillis is the degraded window, kill
+	// landing to last survivor finish (MTTR in a run that ends rather
+	// than repairs).
+	KilledAtMillis      float64
+	FirstQuorumAtMillis float64
+	DegradedMillis      float64
 }
 
 // ProcStats is the per-processor view of a run, used to study how evenly
@@ -191,6 +202,20 @@ func (r *Result) String() string {
 			n.Stalls, n.DeadProcs, n.TakeoverReads, n.AliveProcs, r.Config.Procs)
 		fmt.Fprintf(&b, "  quorum          %10d releases, %d excisions, %d frames retired, %d throttled prefetches\n",
 			n.QuorumReleases, n.Excisions, n.FramesRetired, n.ThrottledPrefetches)
+	}
+	if r.Config.Domain.Enabled() {
+		f := r.Faults
+		fmt.Fprintf(&b, "  domains         %10d stormed requests, %d dead-failed, disks alive %d/%d, procs alive %d/%d\n",
+			f.Disk.Stormed, f.Disk.DeadFailed, f.AliveDisks, r.Config.Disks,
+			f.Node.AliveProcs, r.Config.Procs)
+	}
+	if n := r.Faults.Node; n.DeadProcs > 0 {
+		fmt.Fprintf(&b, "  degraded window %10.1f ms (kill landed %.1f ms, survivors done %.1f ms)\n",
+			n.DegradedMillis, n.KilledAtMillis, r.TotalTimeMillis())
+		if n.FirstQuorumAtMillis > 0 {
+			fmt.Fprintf(&b, "  detection       %10.1f ms kill-to-quorum-release\n",
+				n.FirstQuorumAtMillis-n.KilledAtMillis)
+		}
 	}
 	fmt.Fprintf(&b, "  idle periods    %10s\n", r.idleLine())
 	return b.String()

@@ -159,6 +159,14 @@ type Disk struct {
 	dead   bool            // permanently offline (fault.Config.KillAt)
 	fstats FaultStats
 
+	// Latency-storm window (fault.DomainConfig): requests dispatched in
+	// [stormStart, stormEnd) have their service time multiplied by
+	// stormFactor. Set once before the run starts, read-only after —
+	// safe on the disk's LP executor without fencing.
+	stormStart  sim.Time
+	stormEnd    sim.Time
+	stormFactor float64
+
 	obs obs.Sink // nil = no observability (the common case)
 
 	// Parallel-mode state (nil/zero on a serial kernel — see
@@ -304,6 +312,14 @@ func (d *Disk) serveNext(now sim.Time) (req *Request, injected bool) {
 	d.pending[0] = nil
 	d.pending = d.pending[1:]
 	service := d.profile.ServiceTime(d.headPos, req.Physical)
+	// Storms stretch the base service before the fault draw, so a spike
+	// multiplies the stormed time and the timeout watchdog still caps
+	// the result. Factor > 1 only lengthens service, which keeps the
+	// parallel partition's access-time lookahead conservative.
+	if d.stormFactor > 1 && now >= d.stormStart && now < d.stormEnd {
+		service = sim.Duration(float64(service) * d.stormFactor)
+		d.fstats.Stormed++
+	}
 	if d.inj != nil {
 		service, injected = d.applyFaults(req, service)
 	}

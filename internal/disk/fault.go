@@ -47,6 +47,9 @@ type FaultStats struct {
 	// went) dead: pending requests flushed by the kill plus every
 	// submission refused afterwards.
 	DeadFailed int64
+	// Stormed counts requests whose service was stretched by a
+	// domain-wide latency storm (fault.DomainConfig).
+	Stormed int64
 }
 
 // Add accumulates other into s.
@@ -56,11 +59,12 @@ func (s *FaultStats) Add(other FaultStats) {
 	s.Stuck += other.Stuck
 	s.Timeouts += other.Timeouts
 	s.DeadFailed += other.DeadFailed
+	s.Stormed += other.Stormed
 }
 
 // Total returns the total number of injected fault effects.
 func (s FaultStats) Total() int64 {
-	return s.Transient + s.Spikes + s.Stuck + s.Timeouts + s.DeadFailed
+	return s.Transient + s.Spikes + s.Stuck + s.Timeouts + s.DeadFailed + s.Stormed
 }
 
 // SetFaults attaches a fault injector: every subsequent dispatch
@@ -182,6 +186,26 @@ func (a *Array) SetFaults(inj *fault.Injector) {
 		victim := a.disks[kd]
 		victim.k.Schedule(sim.Time(at), victim.kill)
 	}
+}
+
+// ScheduleKill schedules disk i's permanent death at the given
+// virtual time, independent of any injector — this is how correlated
+// failure-domain kills take a whole rack's disks down at one instant.
+// The kill itself is idempotent, so combining a domain kill with an
+// injector's KillAt on the same disk is harmless.
+func (a *Array) ScheduleKill(i int, at sim.Duration) {
+	victim := a.disks[i]
+	victim.k.Schedule(sim.Time(at), victim.kill)
+}
+
+// SetStorm arms a latency-storm window on disk i: requests dispatched
+// in [start, end) take factor times their normal service time. Must be
+// called before the run starts (the window is read-only afterwards).
+func (a *Array) SetStorm(i int, start, end sim.Duration, factor float64) {
+	d := a.disks[i]
+	d.stormStart = sim.Time(start)
+	d.stormEnd = sim.Time(end)
+	d.stormFactor = factor
 }
 
 // Alive reports whether disk i is still serving requests.

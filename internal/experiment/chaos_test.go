@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+// TestVerifyChaosClaims runs the cluster-chaos audit C1-C5 at the
+// smoke scale: the claims and plumbing are identical to the 100k-node
+// run, only the node counts shrink.
+func TestVerifyChaosClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos claims run many simulations")
+	}
+	v, sweep := VerifyChaosClaims(smokeScaleOptions())
+	if len(v.Claims) != 5 {
+		t.Fatalf("want 5 claims, got %d", len(v.Claims))
+	}
+	for _, c := range v.Claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Paper, c.Measured)
+		}
+	}
+	if want := len(smokeScaleOptions().Nodes); len(sweep.Chaos) != want {
+		t.Fatalf("want %d chaos rows, got %d", want, len(sweep.Chaos))
+	}
+	for i, row := range sweep.Chaos {
+		if !row.Chaos || !row.Prefetch {
+			t.Errorf("chaos row %d not marked chaos+prefetch: %+v", i, row)
+		}
+		if row.DeadProcs == 0 {
+			t.Errorf("chaos row %d lost no processors to the rack kill", i)
+		}
+		// The chaos cell must cost more than the matching clean
+		// prefetch cell: faults are not free.
+		clean := sweep.Rows[2*i+1]
+		if row.TotalMillis <= clean.TotalMillis {
+			t.Errorf("%d nodes: chaos total %.0f ms not above clean %.0f ms",
+				row.Nodes, row.TotalMillis, clean.TotalMillis)
+		}
+	}
+}

@@ -53,7 +53,9 @@ type ScaleOptions struct {
 	Progress func(done, total int)
 
 	// Telemetry attaches a windowed telemetry sink to the sweep's
-	// leading prefetch cell (Nodes[0]) and stores its snapshot and the
+	// leading prefetch cell (Nodes[0]) — or, when Chaos is on, to the
+	// leading chaos cell, whose time series shows the fault activity —
+	// and stores its snapshot and the
 	// sampled full-fidelity trace on the ScaleResult. Per claim S5, the
 	// sink never changes any Result byte — it only adds the windowed
 	// view.
@@ -64,6 +66,16 @@ type ScaleOptions struct {
 	// SampleK is the number of nodes recorded at full fidelity when
 	// Telemetry is on (0 = 16).
 	SampleK int
+
+	// Chaos adds one chaos row per swept size: the prefetch cell re-run
+	// under the standard chaos composition (transient disk errors,
+	// node stalls, and a one-rack correlated kill a quarter into the
+	// clean run). VerifyChaosClaims turns it on; the plain sweep stays
+	// fault-free.
+	Chaos bool
+	// Racks is the failure-domain count chaos cells split the machine
+	// into (default 16, clamped to the disk count).
+	Racks int
 }
 
 // DefaultScaleSizes is the cluster-scale node sweep of the tentpole
@@ -92,7 +104,19 @@ func (o ScaleOptions) withDefaults() ScaleOptions {
 	if o.Telemetry && o.SampleK == 0 {
 		o.SampleK = 16
 	}
+	if o.Racks == 0 {
+		o.Racks = 16
+	}
 	return o
+}
+
+// racksFor clamps the failure-domain count to the disk array: every
+// rack must own at least one disk for a rack kill to mean anything.
+func (o ScaleOptions) racksFor(disks int) int {
+	if o.Racks > disks {
+		return disks
+	}
+	return o.Racks
 }
 
 // disksFor sizes the node sweep's disk array.
@@ -119,6 +143,8 @@ type ScaleRow struct {
 	Nodes        int
 	Disks        int
 	Prefetch     bool
+	Chaos        bool    // run under the chaos composition
+	DeadProcs    int     // processors lost to the chaos kill
 	TotalMillis  float64 // virtual completion time
 	ReadMean     float64 // mean block read time (ms)
 	DiskResponse float64 // mean disk response time (ms)
@@ -133,8 +159,9 @@ type ScaleRow struct {
 // without prefetching), the disk-contention knee study, and rendered
 // figures extending Figs. 7/8 beyond the paper's axis.
 type ScaleResult struct {
-	Rows []ScaleRow // node sweep, (no-prefetch, prefetch) per size
-	Knee []ScaleRow // disk sweep at Nodes[0], prefetching
+	Rows  []ScaleRow // node sweep, (no-prefetch, prefetch) per size
+	Knee  []ScaleRow // disk sweep at Nodes[0], prefetching
+	Chaos []ScaleRow // chaos cells, one per size (ScaleOptions.Chaos)
 
 	// Telemetry and SampledTrace are set when ScaleOptions.Telemetry is
 	// on: the windowed time series of the Nodes[0] prefetch cell and
@@ -159,11 +186,16 @@ func (r *ScaleResult) Table() string {
 		"nodes", "disks", "prefetch", "total (ms)", "read (ms)",
 		"disk resp (ms)", "hit", "events", "events/sec", "B/node"}}
 	rows := append(append([]ScaleRow{}, r.Rows...), r.Knee...)
+	rows = append(rows, r.Chaos...)
 	for _, row := range rows {
+		mode := fmt.Sprintf("%v", row.Prefetch)
+		if row.Chaos {
+			mode += "+chaos"
+		}
 		tb.AddRow(
 			fmt.Sprintf("%d", row.Nodes),
 			fmt.Sprintf("%d", row.Disks),
-			fmt.Sprintf("%v", row.Prefetch),
+			mode,
 			fmt.Sprintf("%.0f", row.TotalMillis),
 			fmt.Sprintf("%.2f", row.ReadMean),
 			fmt.Sprintf("%.2f", row.DiskResponse),
@@ -176,18 +208,27 @@ func (r *ScaleResult) Table() string {
 	return tb.String()
 }
 
+// scaleCellConfig builds one cell of the node sweep: the compact
+// cluster configuration at the sweep's seed, reference-string length,
+// and balanced computation. Chaos cells and the claim probes start
+// from this and layer fault configuration on top.
+func scaleCellConfig(nodes, disks int, prefetch bool, blocks int, compute sim.Duration, seed uint64) core.Config {
+	cfg := core.ScaleConfig(nodes, disks, prefetch)
+	cfg.Seed = seed
+	cfg.Pattern.Seed = seed
+	cfg.Pattern.TotalBlocks = blocks
+	cfg.ComputeMean = compute
+	return cfg
+}
+
 // runScaleCell executes one compact-engine run and measures it. Cells
 // run strictly serially: bytes/node is a heap-delta measurement, so the
 // process must not host a second concurrent engine, and a 1M-node run
 // is itself parallel inside the kernel when SimWorkers > 1. tel, when
 // non-nil, replaces the cell's counter sink with a windowed telemetry
 // sink (the counters it needs are a subset of what telemetry keeps).
-func runScaleCell(nodes, disks int, prefetch bool, blocks int, compute sim.Duration, seed uint64, tel *telemetry.Sink) ScaleRow {
-	cfg := core.ScaleConfig(nodes, disks, prefetch)
-	cfg.Seed = seed
-	cfg.Pattern.Seed = seed
-	cfg.Pattern.TotalBlocks = blocks
-	cfg.ComputeMean = compute
+func runScaleCell(cfg core.Config, tel *telemetry.Sink) ScaleRow {
+	nodes := cfg.Procs
 	var totals func() obs.Counters
 	if tel != nil {
 		cfg.Obs = tel
@@ -210,9 +251,15 @@ func runScaleCell(nodes, disks int, prefetch bool, blocks int, compute sim.Durat
 
 	events := totals()[obs.CtrKernelEvents]
 	row := ScaleRow{
-		Nodes:        nodes,
-		Disks:        disks,
-		Prefetch:     prefetch,
+		Nodes:    nodes,
+		Disks:    cfg.Disks,
+		Prefetch: cfg.Prefetch,
+		// Backpressure is part of every scale cell (a throttle, not an
+		// injected fault), so it does not mark a row as chaos.
+		Chaos: cfg.Fault.Enabled() || cfg.Domain.Enabled() ||
+			cfg.NodeFault.StallRate > 0 || cfg.NodeFault.KillAt > 0 ||
+			cfg.NodeFault.StragglerFactor > 1,
+		DeadProcs:    res.Faults.Node.DeadProcs,
 		TotalMillis:  res.TotalTimeMillis(),
 		ReadMean:     res.ReadTime.Mean(),
 		DiskResponse: res.DiskResponse.Mean(),
@@ -271,6 +318,9 @@ func RunScaleSweep(opts ScaleOptions) *ScaleResult {
 	knee := r.DiskKnee.AddSeries("prefetch", 'P')
 
 	total := 2*len(opts.Nodes) + len(opts.KneeDivisors)
+	if opts.Chaos {
+		total += len(opts.Nodes)
+	}
 	done := 0
 	tick := func() {
 		done++
@@ -283,26 +333,26 @@ func RunScaleSweep(opts ScaleOptions) *ScaleResult {
 	r.DiskAccessMillis = access.Millis()
 
 	for i, n := range opts.Nodes {
-		base := runScaleCell(n, opts.disksFor(n), false, n*opts.BlocksPerNode, compute, opts.Seed, nil)
+		base := runScaleCell(scaleCellConfig(n, opts.disksFor(n), false, n*opts.BlocksPerNode, compute, opts.Seed), nil)
 		tick()
-		// The leading prefetch cell carries the telemetry sink: it is
-		// the size the determinism and knee studies run at, so its time
-		// series is the one worth exporting.
-		var tel *telemetry.Sink
-		if opts.Telemetry && i == 0 {
-			tel = telemetry.New(telemetry.Config{
+		// The leading prefetch cell carries the telemetry sink — or, in
+		// a chaos sweep, the leading chaos cell instead, so the exported
+		// time series shows the storm and the rack kill (the
+		// EXPERIMENTS.md chaos walkthrough reads that export).
+		newTel := func() *telemetry.Sink {
+			return telemetry.New(telemetry.Config{
 				Window:     opts.TelemetryWindow,
 				SampleK:    opts.SampleK,
 				Nodes:      n,
 				SampleSeed: opts.Seed,
 			})
 		}
-		with := runScaleCell(n, opts.disksFor(n), true, n*opts.BlocksPerNode, compute, opts.Seed, tel)
-		tick()
-		if tel != nil {
-			r.Telemetry = tel.Snapshot()
-			r.SampledTrace = tel.Sampled()
+		var tel *telemetry.Sink
+		if opts.Telemetry && i == 0 && !opts.Chaos {
+			tel = newTel()
 		}
+		with := runScaleCell(scaleCellConfig(n, opts.disksFor(n), true, n*opts.BlocksPerNode, compute, opts.Seed), tel)
+		tick()
 		r.Rows = append(r.Rows, base, with)
 		x := float64(n)
 		np.Add(x, base.TotalMillis)
@@ -310,13 +360,28 @@ func RunScaleSweep(opts ScaleOptions) *ScaleResult {
 		imp.Add(x, metrics.PercentReduction(base.TotalMillis, with.TotalMillis))
 		thr.Add(x, with.EventsPerSec)
 		bpn.Add(x, with.BytesPerNode)
+
+		if opts.Chaos {
+			ccfg := scaleCellConfig(n, opts.disksFor(n), true, n*opts.BlocksPerNode, compute, opts.Seed)
+			opts.chaosFaults(&ccfg)
+			opts.chaosKill(&ccfg, sim.Millis(with.TotalMillis/4))
+			if opts.Telemetry && i == 0 {
+				tel = newTel()
+			}
+			r.Chaos = append(r.Chaos, runScaleCell(ccfg, tel))
+			tick()
+		}
+		if tel != nil {
+			r.Telemetry = tel.Snapshot()
+			r.SampledTrace = tel.Sampled()
+		}
 	}
 	for _, div := range opts.KneeDivisors {
 		d := opts.Nodes[0] / div
 		if d < 1 {
 			d = 1
 		}
-		row := runScaleCell(opts.Nodes[0], d, true, opts.Nodes[0]*opts.BlocksPerNode, compute, opts.Seed, nil)
+		row := runScaleCell(scaleCellConfig(opts.Nodes[0], d, true, opts.Nodes[0]*opts.BlocksPerNode, compute, opts.Seed), nil)
 		tick()
 		r.Knee = append(r.Knee, row)
 		knee.Add(float64(d), row.DiskResponse)
@@ -364,11 +429,8 @@ func VerifyScaleClaims(opts ScaleOptions) (*Verification, *ScaleResult) {
 	// compare full marshaled Results, not summaries.
 	n0 := opts.Nodes[0]
 	marshal := func(simWorkers int, sink obs.Sink) []byte {
-		cfg := core.ScaleConfig(n0, opts.disksFor(n0), true)
-		cfg.Seed = opts.Seed
-		cfg.Pattern.Seed = opts.Seed
-		cfg.Pattern.TotalBlocks = n0 * opts.BlocksPerNode
-		cfg.ComputeMean = opts.computeMean(cfg.DiskAccess)
+		cfg := scaleCellConfig(n0, opts.disksFor(n0), true,
+			n0*opts.BlocksPerNode, opts.computeMean(core.DefaultConfig(pattern.GW).DiskAccess), opts.Seed)
 		cfg.SimWorkers = simWorkers
 		cfg.Obs = sink
 		b, err := json.Marshal(core.MustRun(cfg))

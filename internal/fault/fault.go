@@ -280,7 +280,14 @@ func (i *Injector) SpikeMultiplier() float64 {
 // node's retry backoff. Distinct from every disk stream, so adding a
 // retry in one place never perturbs fault draws elsewhere.
 func (i *Injector) RetryStream(node int) *rng.Source {
-	return rng.New(i.cfg.Seed, retryStreamBase+uint64(node))
+	return RetryJitterStream(i.cfg.Seed, node)
+}
+
+// RetryJitterStream derives one node's retry-backoff jitter stream
+// from a raw seed, for callers that schedule disk deaths without a
+// full Injector (failure-domain kills still need retryable reads).
+func RetryJitterStream(seed uint64, node int) *rng.Source {
+	return rng.New(seed, retryStreamBase+uint64(node))
 }
 
 // RetryPolicy is a capped-exponential-backoff retry schedule in

@@ -403,6 +403,12 @@ var csvHeader = []string{
 	"sync_wait_us", "disk_queue_us", "disk_transfer_us",
 	"disk_queue_p50_us", "disk_queue_p95_us",
 	"demand_wait_p50_us", "demand_wait_p95_us",
+	// Fault columns (appended, keeping the pre-chaos layout stable):
+	// per-window injection and recovery activity, all zero on
+	// fault-free runs.
+	"fault_draws", "faults_injected", "disk_faulted",
+	"read_retries", "failed_fills",
+	"node_stalls", "quorum_releases", "takeover_reads",
 }
 
 // WriteCSV renders the window series as CSV, one row per window.
@@ -442,6 +448,14 @@ func (sn *Snapshot) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%d", win.Quantile(0, 0.95)),
 			fmt.Sprintf("%d", win.Quantile(2, 0.50)),
 			fmt.Sprintf("%d", win.Quantile(2, 0.95)),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrFaultDraws]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrFaultsInjected]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrDiskFaultedRequests]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrReadRetries]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrCacheFailedFills]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrNodeStalls]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrQuorumReleases]),
+			fmt.Sprintf("%d", win.Ctrs[obs.CtrTakeoverReads]),
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err

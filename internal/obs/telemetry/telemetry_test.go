@@ -312,3 +312,53 @@ func TestHitRate(t *testing.T) {
 		t.Errorf("hit rate = %v, want 0.75", got)
 	}
 }
+
+// TestSnapshotFaultColumns pins the fault columns PR 10 appended to the
+// CSV export: they trail the pre-chaos layout (append-only, so existing
+// consumers keep their column indexes) and carry the per-window
+// injection and recovery deltas.
+func TestSnapshotFaultColumns(t *testing.T) {
+	s := New(Config{Window: 100})
+	s.Add(obs.CtrFaultsInjected, 2)
+	s.Add(obs.CtrReadRetries, 1)
+	s.Add(obs.CtrQuorumReleases, 3)
+	var buf bytes.Buffer
+	if err := s.Snapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 window", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	wantTail := []string{
+		"fault_draws", "faults_injected", "disk_faulted",
+		"read_retries", "failed_fills",
+		"node_stalls", "quorum_releases", "takeover_reads",
+	}
+	tail := header[len(header)-len(wantTail):]
+	for i, want := range wantTail {
+		if tail[i] != want {
+			t.Fatalf("fault column %d = %q, want %q (full header %v)", i, tail[i], want, header)
+		}
+	}
+	row := strings.Split(lines[1], ",")
+	cell := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if got := cell("faults_injected"); got != "2" {
+		t.Errorf("faults_injected = %s, want 2", got)
+	}
+	if got := cell("read_retries"); got != "1" {
+		t.Errorf("read_retries = %s, want 1", got)
+	}
+	if got := cell("quorum_releases"); got != "3" {
+		t.Errorf("quorum_releases = %s, want 3", got)
+	}
+}

@@ -30,6 +30,12 @@ type Policy struct {
 	// monotone enables the forward-only scan cursor (see SetMonotone).
 	monotone bool
 
+	// indexOf maps a block id to its reference-string index, built
+	// lazily on the first Demote. Only global patterns (one shared
+	// string, each block emitted once) ever need it, which keeps
+	// fault-free monotone runs paying nothing for the demotion path.
+	indexOf []int32
+
 	states []stringState // one per process (local) or a single shared one (global)
 }
 
@@ -70,20 +76,62 @@ func (p *Policy) Lead() int { return p.lead }
 // quadratic term that dominates cluster-scale runs) into an amortized
 // O(1) cursor advance.
 //
-// The optimization is exact — byte-identical selections — only when a
-// block at an index at or above the demand cursor can never leave the
-// cache, and the string never repeats a block. The engine enables it
-// exactly when it can guarantee both: a global pattern (generators
-// emit each block once), the oracle policy (unconsumed prefetched
-// frames are not evictable), no fault injection (no failed fills
-// silently demoting prefetched blocks, no capacity squeezes retiring
-// frames), and zero lead (a lead window makes verified ranges
-// non-contiguous). Panics if the policy has a lead.
+// The optimization is exact — byte-identical selections — only when
+// every way a block at an index at or above the demand cursor can
+// leave the cache is reported back through Demote, and the string
+// never repeats a block. The engine enables it exactly when it can
+// guarantee both: a global pattern (generators emit each block once;
+// every read notes demand, so consumed blocks sit below the cursor by
+// the time they become evictable), the oracle policy (unconsumed
+// prefetched frames are not subject to mistake eviction), and zero
+// lead (a lead window makes verified ranges non-contiguous). Fault
+// injection is covered, not disqualifying: a failed demand fill drops
+// a block already below the demand cursor, a capacity squeeze claims
+// frames exactly as an allocation would (consumed blocks only), and
+// the one remaining hole — a failed prefetch fill silently demoting a
+// block the scan may have verified while its transfer was in flight —
+// is plugged by the cache's demote hook calling Demote. Panics if the
+// policy has a lead.
 func (p *Policy) SetMonotone(on bool) {
 	if on && p.lead != 0 {
 		panic("prefetch: monotone scan requires zero lead")
 	}
 	p.monotone = on
+}
+
+// Demote reports that block, previously present in the cache, was
+// dropped without being consumed (a failed prefetch fill under fault
+// injection). The verified-cached cursor rolls back to the block's
+// string index so the next scan re-examines it — the invalidation that
+// keeps the monotone cursor exact on faulted runs. No-op when the
+// cursor is off, for local patterns, or for a block outside the
+// string.
+func (p *Policy) Demote(block int) {
+	if !p.monotone || p.pat.Kind.Local() {
+		return
+	}
+	if p.indexOf == nil {
+		str := p.states[0].str
+		max := -1
+		for _, b := range str {
+			if b > max {
+				max = b
+			}
+		}
+		p.indexOf = make([]int32, max+1)
+		for i := range p.indexOf {
+			p.indexOf[i] = -1
+		}
+		for i, b := range str {
+			p.indexOf[b] = int32(i)
+		}
+	}
+	if block < 0 || block >= len(p.indexOf) {
+		return
+	}
+	if idx := int(p.indexOf[block]); idx >= 0 && idx < p.states[0].scanFrom {
+		p.states[0].scanFrom = idx
+	}
 }
 
 func (p *Policy) stateFor(node int) *stringState {

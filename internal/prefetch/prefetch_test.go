@@ -243,3 +243,54 @@ func TestLRPHorizonPerProcess(t *testing.T) {
 		}
 	}
 }
+
+// TestDemoteRollsCursorBack pins the fault-run exactness contract of
+// the monotone cursor: a block a scan verified in-cache that later
+// drops out (a failed prefetch fill) is invisible to the cursor until
+// Demote reports it, and re-examined afterwards.
+func TestDemoteRollsCursorBack(t *testing.T) {
+	p := NewPolicy(smallGW(10), 0)
+	p.SetMonotone(true)
+	// Blocks 0-4 cached: the scan verifies them and parks the cursor
+	// at the first uncached index, 5.
+	block, _, ok := p.Select(0, cachedSet(0, 1, 2, 3, 4))
+	if !ok || block != 5 {
+		t.Fatalf("Select = %d,%v, want 5", block, ok)
+	}
+	// Block 2 silently leaves the cache: the cursor never looks back —
+	// exactly the hole the cache's demote hook plugs.
+	if block, _, _ = p.Select(0, cachedSet(0, 1, 3, 4, 5)); block != 6 {
+		t.Fatalf("Select after silent drop = %d, want 6 (cursor is forward-only)", block)
+	}
+	p.Demote(2)
+	if block, _, ok = p.Select(0, cachedSet(0, 1, 3, 4, 5)); !ok || block != 2 {
+		t.Fatalf("Select after Demote = %d,%v, want 2", block, ok)
+	}
+}
+
+// TestDemoteNoops: Demote must be inert when the cursor is off, for
+// local patterns, and for block ids outside the string.
+func TestDemoteNoops(t *testing.T) {
+	p := NewPolicy(smallGW(10), 0)
+	p.Demote(3) // cursor off
+	if block, _, ok := p.Select(0, noneCached); !ok || block != 0 {
+		t.Fatalf("Select = %d,%v, want 0", block, ok)
+	}
+
+	p = NewPolicy(smallGW(10), 0)
+	p.SetMonotone(true)
+	p.Demote(-1) // outside the string: ignored
+	p.Demote(99)
+	if block, _, ok := p.Select(0, noneCached); !ok || block != 0 {
+		t.Fatalf("Select = %d,%v, want 0", block, ok)
+	}
+
+	cfg := pattern.Defaults(pattern.LFP)
+	cfg.Procs = 2
+	cfg.BlocksPerProc = 10
+	lp := NewPolicy(pattern.MustGenerate(cfg), 0)
+	lp.Demote(3) // local pattern: per-node strings never get the cursor
+	if _, _, ok := lp.Select(0, noneCached); !ok {
+		t.Fatal("local Select found no candidate")
+	}
+}

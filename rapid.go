@@ -124,6 +124,14 @@ type (
 	// barrier quorum timeouts, cache capacity squeeze, prefetch
 	// backpressure). The zero value injects nothing.
 	NodeFaultConfig = fault.NodeConfig
+	// DomainConfig groups disks and nodes into named failure domains
+	// (racks/zones) with correlated events: whole-domain kill at a
+	// virtual time, domain-wide latency storms, straggler spread. The
+	// zero value injects nothing.
+	DomainConfig = fault.DomainConfig
+	// FailureDomain is one named contiguous slice of disks and nodes
+	// within a DomainConfig.
+	FailureDomain = fault.Domain
 
 	// Figure is plot data for one reproduced figure.
 	Figure = metrics.Figure
@@ -312,6 +320,23 @@ func RunScaleSweep(opts ScaleOptions) *ScaleResult {
 // throughput and memory budget) and returns the sweep they ran on.
 func VerifyScaleClaims(opts ScaleOptions) (*experiment.Verification, *ScaleResult) {
 	return experiment.VerifyScaleClaims(opts)
+}
+
+// VerifyChaosClaims machine-checks the cluster-chaos claims C1-C5
+// (chaos determinism across SimWorkers, zero-value inertness against
+// the clean scale cell, quorum release beating a rack-kill deadlock,
+// prefetch masking injected fault latency at scale, and proportional
+// degradation under correlated domain kills) and returns a
+// chaos-augmented sweep.
+func VerifyChaosClaims(opts ScaleOptions) (*experiment.Verification, *ScaleResult) {
+	return experiment.VerifyChaosClaims(opts)
+}
+
+// SplitDomains partitions disks and nodes into count equal named
+// failure domains ("<prefix>0" ... "<prefix>N-1"), remainders landing
+// in the last domain.
+func SplitDomains(prefix string, disks, nodes, count int) []FailureDomain {
+	return fault.SplitDomains(prefix, disks, nodes, count)
 }
 
 // VerifyFaultClaims machine-checks the robustness extension's claims
